@@ -1,0 +1,23 @@
+"""Shared benchmark plumbing: run an experiment once, time it, print it."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import run_experiment
+
+__all__ = ["run_and_report"]
+
+
+def run_and_report(benchmark, exp_id: str, **kwargs) -> ExperimentResult:
+    """Benchmark one experiment end-to-end (single round) and print it.
+
+    Experiments are whole-simulation workloads, so we run exactly one
+    timed round — the interesting number is the wall-clock of regenerating
+    the artifact, not a microsecond distribution.
+    """
+    result = benchmark.pedantic(
+        run_experiment, args=(exp_id,), kwargs=kwargs, iterations=1, rounds=1
+    )
+    print()
+    print(result.render())
+    return result

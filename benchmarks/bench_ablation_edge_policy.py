@@ -1,0 +1,17 @@
+"""Ablation bench — CSQ edge-launch heuristics (future work §V).
+
+Shape check: every policy produces contacts and satisfies the snapshot
+invariants; results for the three policies are reported side by side.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_ablation_edge_policy(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "ablation_edge_policy", scale=repro_scale, seed=0,
+        num_sources=repro_sources,
+    )
+    assert {row[0] for row in result.rows} == {"random", "spread", "degree"}
+    for row in result.rows:
+        assert row[1] > 0 and row[2] > 0

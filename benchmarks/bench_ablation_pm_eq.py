@@ -1,0 +1,17 @@
+"""Ablation bench — PM admission equation (1) vs (2) vs EM.
+
+Shape check: eq.(1) admits overlapping contacts (the Fig 1 pathology),
+eq.(2) reduces overlap, EM eliminates it.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_ablation_pm_eq(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "ablation_pm_eq", scale=repro_scale, seed=0,
+        num_sources=repro_sources,
+    )
+    by = {row[0]: row for row in result.rows}
+    assert by["EM"][1] == 0.0
+    assert by["PM eq.1"][1] >= by["PM eq.2"][1]

@@ -1,0 +1,16 @@
+"""Ablation bench — DSQ escalation vs expanding-ring search, dedup on/off.
+
+Shape check: CARD's directed querying beats TTL-escalated flooding
+(§III.C.4's efficiency claim), and dedup never hurts.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_ablation_query(benchmark, repro_scale):
+    result = run_and_report(
+        benchmark, "ablation_query", scale=repro_scale, seed=0, num_queries=25
+    )
+    by = {row[0]: row for row in result.rows}
+    assert by["CARD DSQ (dedup)"][1] <= by["CARD DSQ (no dedup)"][1]
+    assert by["CARD DSQ (dedup)"][1] <= by["Expanding ring"][1]

@@ -1,0 +1,16 @@
+"""Ablation bench — local recovery on/off during validation.
+
+Shape check: recovery keeps more contacts alive (fewer losses) than
+dropping a contact at the first broken hop.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_ablation_recovery(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "ablation_recovery", scale=repro_scale, seed=0,
+        num_sources=repro_sources, duration=10.0,
+    )
+    by = {row[0]: row for row in result.rows}
+    assert by["recovery ON"][1] <= by["recovery OFF"][1]

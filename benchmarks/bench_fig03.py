@@ -1,0 +1,16 @@
+"""Regenerates Fig 3 — reachability vs NoC for PM and EM.
+
+Shape check: EM's final reachability must dominate PM's (the paper's
+central selection-method claim).
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig03(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig03", scale=repro_scale, seed=0, num_sources=repro_sources
+    )
+    em = result.raw["em"]
+    pm = result.raw["pm"]
+    assert em[-1][1] >= pm[-1][1]  # EM reaches further at max NoC

@@ -1,0 +1,16 @@
+"""Regenerates Fig 4 — CSQ backtracking overhead per node, PM vs EM.
+
+Shape check: PM (no query-id loop prevention, per §III.C.2b) backtracks
+far more than EM.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig04(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig04", scale=repro_scale, seed=0, num_sources=repro_sources
+    )
+    em = result.raw["em"]
+    pm = result.raw["pm"]
+    assert pm[-1][3] >= em[-1][3]

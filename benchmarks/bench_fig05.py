@@ -1,0 +1,15 @@
+"""Regenerates Fig 5 — reachability distribution vs neighborhood radius R.
+
+Shape check: the distribution's mean rises from R=1 toward mid-range R,
+then collapses once 2R approaches r (no room for contacts).
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig05(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig05", scale=repro_scale, seed=0, num_sources=repro_sources
+    )
+    means = result.raw["means"]
+    assert means["R=3"] > means["R=1"]

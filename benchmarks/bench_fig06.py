@@ -1,0 +1,18 @@
+"""Regenerates Fig 6 — reachability distribution vs max contact distance r.
+
+Shape check: reachability grows with r and flattens near r = 2R+8.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig06(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig06", scale=repro_scale, seed=0, num_sources=repro_sources
+    )
+    means = result.raw["means"]
+    assert means["r=2R+8"] > means["r=2R"]
+    # diminishing returns: the last step adds less than the first
+    first_gain = means["r=2R+4"] - means["r=2R"]
+    last_gain = means["r=2R+12"] - means["r=2R+8"]
+    assert last_gain <= first_gain

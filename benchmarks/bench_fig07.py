@@ -1,0 +1,16 @@
+"""Regenerates Fig 7 — reachability distribution vs NoC.
+
+Shape check: sharp rise then saturation (NoC=12 barely beats NoC=6).
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig07(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig07", scale=repro_scale, seed=0, num_sources=repro_sources
+    )
+    means = result.raw["means"]
+    early_gain = means["NoC=4"] - means["NoC=0"]
+    late_gain = means["NoC=12"] - means["NoC=8"]
+    assert early_gain > late_gain

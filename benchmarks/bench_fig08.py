@@ -1,0 +1,14 @@
+"""Regenerates Fig 8 — reachability distribution vs depth of search D.
+
+Shape check: reachability rises sharply with D.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig08(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig08", scale=repro_scale, seed=0, num_sources=repro_sources
+    )
+    means = result.raw["means"]
+    assert means["D=3"] > means["D=2"] > means["D=1"]

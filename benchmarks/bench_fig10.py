@@ -1,0 +1,16 @@
+"""Regenerates Fig 10 — overhead over time, varying NoC (RWP mobility).
+
+Shape check: overhead grows with NoC (more contacts to validate/replace).
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig10(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig10", scale=repro_scale, seed=0,
+        num_sources=repro_sources, duration=10.0,
+    )
+    lo = sum(result.raw["NoC=3"].overhead)
+    hi = sum(result.raw["NoC=7"].overhead)
+    assert hi >= lo

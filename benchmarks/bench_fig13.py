@@ -1,0 +1,17 @@
+"""Regenerates Fig 13 — overhead and held contacts over a 20 s run.
+
+Shape check: the contact population stays alive (maintenance + replacement
+keep the structure standing under mobility).
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig13(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig13", scale=repro_scale, seed=0,
+        num_sources=repro_sources, duration=20.0,
+    )
+    series = result.raw["series"]
+    assert len(series.times) == 10
+    assert series.total_contacts[-1] > 0

@@ -1,0 +1,21 @@
+"""Regenerates Fig 14 — normalized reachability/overhead trade-off vs NoC.
+
+Shape check: reachability saturates while overhead keeps climbing, i.e.
+the reachability curve stays above the overhead curve at small NoC and
+they cross (or meet) by the maximum.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig14(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "fig14", scale=repro_scale, seed=0, num_sources=repro_sources
+    )
+    reach = result.raw["reach"]
+    overhead = result.raw["overhead"]
+    assert reach[-1] > 0 and overhead[-1] > 0
+    # normalized curves both end at 1; mid-sweep reachability (fraction of
+    # its max) must exceed overhead's fraction — that's the desirable region
+    mid = len(reach) // 2
+    assert reach[mid] / reach[-1] >= overhead[mid] / overhead[-1]

@@ -1,0 +1,17 @@
+"""Regenerates Fig 15 — CARD vs flooding vs bordercasting querying traffic.
+
+Shape check: flooding costs the most radio events at every size, and CARD
+costs less than flooding (the paper's headline comparison).
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_fig15(benchmark, repro_scale):
+    result = run_and_report(
+        benchmark, "fig15", scale=repro_scale, seed=0, num_queries=25
+    )
+    for row in result.rows:
+        flooding, border, card = row[1], row[2], row[3]
+        assert card < flooding
+        assert border < flooding

@@ -1,0 +1,20 @@
+"""Extension bench — small-world shortcut effect of contacts.
+
+Shape check: the characteristic path length with contact shortcuts shrinks
+monotonically as NoC grows, while the physical clustering stays fixed.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def test_smallworld(benchmark, repro_scale, repro_sources):
+    result = run_and_report(
+        benchmark, "smallworld", scale=repro_scale, seed=0,
+        num_sources=repro_sources,
+    )
+    reports = result.raw
+    ks = sorted(reports)
+    lengths = [reports[k].augmented_path_length for k in ks]
+    assert all(b <= a + 1e-9 for a, b in zip(lengths, lengths[1:]))
+    clusterings = {round(reports[k].clustering, 6) for k in ks}
+    assert len(clusterings) == 1  # physical property, NoC-independent

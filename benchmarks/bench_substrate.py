@@ -1,0 +1,52 @@
+"""Microbenchmarks of the simulation substrate hot spots.
+
+Not a paper artifact — these time the kernels every experiment leans on
+(adjacency rebuild, bulk BFS, one CSQ walk) so performance regressions in
+the substrate are caught next to the figure benches they would slow down.
+"""
+
+import numpy as np
+
+from repro.core.params import CARDParams
+from repro.core.selection import ContactSelector
+from repro.net.network import Network
+from repro.net.spatial import build_unit_disk_edges
+from repro.net.topology import Topology
+from repro.net.graph import hop_distance_matrix
+from repro.routing.neighborhood import NeighborhoodTables
+
+
+def _topo(n=500):
+    rng = np.random.default_rng(0)
+    return Topology.uniform_random(n, (710.0, 710.0), 50.0, rng)
+
+
+def test_unit_disk_edges(benchmark):
+    topo = _topo()
+    pos = np.array(topo.positions)
+    edges = benchmark(build_unit_disk_edges, pos, 50.0, (710.0, 710.0))
+    assert len(edges) > 0
+
+
+def test_hop_distance_matrix(benchmark):
+    topo = _topo()
+    adj = topo.adj
+    dist = benchmark(hop_distance_matrix, adj)
+    assert dist.shape == (500, 500)
+
+
+def test_csq_walk(benchmark):
+    topo = _topo()
+    params = CARDParams(R=3, r=12, noc=1)
+    net = Network(topo)
+    tables = NeighborhoodTables(topo, 3)
+    selector = ContactSelector(net, tables, params)
+    edges = tables.edge_nodes(0)
+    assert len(edges) > 0
+
+    def walk():
+        rng = np.random.default_rng(7)
+        return selector.select_one(0, int(edges[0]), (), rng)
+
+    out = benchmark(walk)
+    assert out.forward_msgs > 0

@@ -1,0 +1,8 @@
+"""Regenerates Table 1 — connectivity statistics of the eight scenarios."""
+
+from benchmarks._util import run_and_report
+
+
+def test_table1(benchmark, repro_scale):
+    result = run_and_report(benchmark, "table1", scale=repro_scale, seed=0)
+    assert len(result.rows) == 8

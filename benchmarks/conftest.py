@@ -1,0 +1,48 @@
+"""Benchmark configuration.
+
+Every ``bench_*.py`` regenerates one paper artifact (table/figure) through
+the same experiment functions the full-scale harness uses, at a reduced
+``scale`` so the whole suite completes in minutes.  The benchmark *timing*
+is the experiment's end-to-end runtime; the experiment's *output* (the
+reproduced rows/series) is printed once per bench via the ``-s``-less
+capture-friendly reporting below, so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction harness.
+
+Scale knobs are centralized here; override with ``--repro-scale`` to run
+closer to paper size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        type=float,
+        default=0.4,
+        help="network-size scale factor for benchmark experiments (0,1]",
+    )
+    parser.addoption(
+        "--repro-sources",
+        type=int,
+        default=40,
+        help="number of measured source nodes per experiment",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request) -> float:
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def repro_sources(request) -> int:
+    return request.config.getoption("--repro-sources")
+
+
+def report(result) -> None:
+    """Print a reproduced artifact beneath its benchmark entry."""
+    print()
+    print(result.render())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""What the proactive zone actually costs: scoped DSDV vs the oracle.
+
+CARD assumes a DSDV-like protocol keeps every node's R-hop neighborhood
+tables fresh (§III.C).  The paper's figures never charge for that traffic
+(every scheme compared needs *some* zone knowledge, and ZRP pays the same
+bill), and our experiments use a BFS oracle for speed.  This example runs
+the *real* protocol — sequence numbers, periodic advertisements, triggered
+updates — and reports:
+
+* routing-update messages per node per second, as a function of R;
+* how table accuracy degrades under mobility between advertisement rounds
+  (the staleness CARD's local recovery is designed to absorb).
+
+Run:  python examples/dsdv_cost.py
+"""
+
+import numpy as np
+
+from repro import Network, RandomWaypoint, ScopedDSDV, Simulator, build_topology
+from repro.mobility.base import MobilityDriver
+from repro.net import graph as g
+from repro.net.messages import MessageKind
+from repro.util.tables import format_table
+
+SEED = 3
+NUM_NODES = 200
+AREA = (450.0, 450.0)
+TX = 50.0
+HORIZON = 10.0
+
+
+def table_accuracy(dsdv, topo, radius) -> float:
+    """Fraction of true R-hop zone entries the tables currently know."""
+    truth = g.hop_distance_matrix(topo.adj)
+    in_zone = (truth >= 0) & (truth <= radius)
+    got = dsdv.converged_distance_matrix() >= 0
+    denom = int(in_zone.sum())
+    return float((got & in_zone).sum()) / denom if denom else 1.0
+
+
+def run(radius: int, mobile: bool):
+    topo = build_topology(NUM_NODES, AREA, TX, seed=SEED, salt="dsdv")
+    sim = Simulator()
+    net = Network(topo, sim=sim)
+    rng = np.random.default_rng(SEED)
+    dsdv = ScopedDSDV(net, radius, period=1.0, jitter=0.1, rng=rng)
+    if mobile:
+        model = RandomWaypoint(
+            topo.positions, topo.area, min_speed=1.0, max_speed=5.0,
+            pause_time=0.0, rng=np.random.default_rng(SEED + 1),
+        )
+        MobilityDriver(sim, topo, model, step_interval=0.5,
+                       on_update=[dsdv.on_topology_change])
+    sim.run(until=HORIZON)
+    msgs = net.stats.total(MessageKind.ROUTING_UPDATE)
+    acc = table_accuracy(dsdv, topo, radius)
+    dsdv.stop()
+    return msgs / NUM_NODES / HORIZON, acc
+
+
+def main() -> None:
+    rows = []
+    for radius in (1, 2, 3, 4):
+        static_rate, static_acc = run(radius, mobile=False)
+        mobile_rate, mobile_acc = run(radius, mobile=True)
+        rows.append(
+            [radius,
+             round(static_rate, 2), f"{100 * static_acc:.1f}%",
+             round(mobile_rate, 2), f"{100 * mobile_acc:.1f}%"]
+        )
+    print(format_table(
+        ["R", "static msg/node/s", "static accuracy",
+         "mobile msg/node/s", "mobile accuracy"],
+        rows,
+        title=f"scoped DSDV cost & accuracy ({NUM_NODES} nodes, {HORIZON:g}s)",
+    ))
+    print("\ntakeaways: advertisement cost is flat in R (one broadcast per "
+          "period regardless),\nbut staleness under mobility grows with R — "
+          "larger zones take longer to re-learn,\nwhich is the gap CARD's "
+          "validation + local recovery covers at the contact layer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Search-and-rescue mission under mobility — CARD's maintenance in action.
+
+The paper's intro lists "search and rescue missions" among the target
+applications.  Here 300 responders sweep a 550 m × 550 m disaster area with
+random-waypoint movement; each unit keeps CARD contacts to stay able to
+locate any other unit (medics, heavy equipment) without flooding the radio
+channel.
+
+The run shows the full event-driven stack: mobility rebuilding
+connectivity, per-node jittered validation timers, local route recovery,
+and automatic replacement of lost contacts.  At the end it reports contact
+churn, repair effectiveness, and the maintenance bill — plus a set of live
+queries executed mid-mission.
+
+Run:  python examples/rescue_mission.py
+"""
+
+import numpy as np
+
+from repro import CARDParams, RandomWaypoint, TimeSeriesRunner, build_topology
+from repro.scenarios.factory import query_workload
+
+SEED = 11
+NUM_UNITS = 300
+AREA = (550.0, 550.0)
+TX = 50.0
+MISSION_SECONDS = 20.0
+
+
+def main() -> None:
+    topo = build_topology(NUM_UNITS, AREA, TX, seed=SEED, salt="rescue")
+    print(f"mission area {AREA[0]:g}x{AREA[1]:g} m, {NUM_UNITS} mobile units, "
+          f"mean degree {topo.stats().mean_degree:.2f}")
+
+    params = CARDParams(R=3, r=12, noc=4, depth=2, validation_period=2.0)
+
+    def responders(positions, area, rng):
+        # foot + vehicle mix: 0.5-6 m/s, brief pauses at waypoints
+        return RandomWaypoint(
+            positions, area, min_speed=0.5, max_speed=6.0, pause_time=1.0,
+            rng=rng,
+        )
+
+    runner = TimeSeriesRunner(
+        topo, params, responders, duration=MISSION_SECONDS, seed=SEED
+    )
+    result = runner.run()
+
+    print(f"\n{'t (s)':>6} {'ovh/node':>9} {'maint':>7} {'reselect':>9} "
+          f"{'contacts':>9} {'lost':>5}")
+    for i, t in enumerate(result.times):
+        print(f"{t:6.0f} {result.overhead[i]:9.1f} {result.maintenance[i]:7.1f} "
+              f"{result.selection[i] + result.backtracking[i]:9.1f} "
+              f"{result.total_contacts[i]:9d} {result.lost_per_bin[i]:5d}")
+
+    total_lost = sum(result.lost_per_bin)
+    survived = result.total_contacts[-1]
+    print(f"\ncontact churn over {MISSION_SECONDS:g}s: {total_lost} lost & "
+          f"replaced, {survived} held at mission end")
+
+    # live queries mid-mission: can unit A find unit B right now?
+    protocol = runner.protocol
+    workload = query_workload(topo, 25, seed=SEED, distinct_sources=True)
+    ok = 0
+    msgs = 0
+    for s, t in workload:
+        res = protocol.query(s, t, max_depth=3)
+        ok += int(res.success)
+        msgs += res.msgs
+    print(f"live queries: {ok}/{len(workload)} located, "
+          f"{msgs / len(workload):.0f} msgs/query "
+          f"(vs ~{topo.stats().giant_size} for a flood)")
+
+
+if __name__ == "__main__":
+    main()

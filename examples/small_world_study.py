@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""The small-world theory behind CARD, measured on a real topology.
+
+The paper's opening move (§I, [10][11][13]): a wireless network is a
+*clustered, long-pathed* graph, and a handful of random shortcuts — the
+contacts — collapse its degrees of separation.  This study verifies each
+piece on a 500-node unit-disk network:
+
+1. the physical graph's Watts-Strogatz statistics (high C, long L);
+2. how the characteristic path length falls as contacts are added;
+3. degrees of separation: how many contact *levels* (introductions) a
+   source needs to cover the network, versus raw hop distance;
+4. what a comparable *random* graph (same degree) would look like — the
+   small-world baseline.
+
+Run:  python examples/small_world_study.py
+"""
+
+import numpy as np
+
+from repro import CARDParams, CARDProtocol, Network, build_topology
+from repro.analysis.smallworld import (
+    characteristic_path_length,
+    clustering_coefficient,
+    degrees_of_separation,
+    smallworld_report,
+)
+from repro.util.tables import format_table
+
+SEED = 13
+NUM_NODES = 500
+
+
+def random_reference(adj, rng):
+    """Degree-matched Erdős–Rényi-ish reference (same edge count)."""
+    n = len(adj)
+    m = sum(len(a) for a in adj) // 2
+    buckets = [set() for _ in range(n)]
+    added = 0
+    while added < m:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v and v not in buckets[u]:
+            buckets[u].add(v)
+            buckets[v].add(u)
+            added += 1
+    return [np.array(sorted(b), dtype=np.int64) for b in buckets]
+
+
+def main() -> None:
+    topo = build_topology(NUM_NODES, (710.0, 710.0), 50.0, seed=SEED, salt="sw")
+    adj = topo.adj
+    rng = np.random.default_rng(SEED)
+
+    c_phys = clustering_coefficient(adj)
+    l_phys = characteristic_path_length(adj)
+    ref = random_reference(adj, rng)
+    c_rand = clustering_coefficient(ref)
+    l_rand = characteristic_path_length(ref)
+    print("Watts-Strogatz coordinates (C = clustering, L = path length):")
+    print(f"  unit-disk MANET : C={c_phys:.3f}  L={l_phys:.2f}")
+    print(f"  random reference: C={c_rand:.3f}  L={l_rand:.2f}")
+    print(f"  → the MANET is {c_phys / max(c_rand, 1e-9):.0f}x more clustered "
+          f"but {l_phys / max(l_rand, 1e-9):.1f}x longer-pathed: "
+          "shortcut territory\n")
+
+    params = CARDParams(R=3, r=12, noc=6)
+    card = CARDProtocol(Network(topo), params, seed=SEED)
+    card.bootstrap()
+
+    class PrefixView:
+        """First-k-contacts view of a table (what a NoC=k run would hold)."""
+
+        def __init__(self, ids):
+            self._ids = ids
+
+        def ids(self):
+            return self._ids
+
+    rows = []
+    for k in (0, 1, 2, 4, 6):
+        truncated = {
+            s: PrefixView(t.ids()[:k]) for s, t in card.contact_tables.items()
+        }
+        rep = smallworld_report(adj, card.membership, truncated, sources=range(80))
+        rows.append(
+            [k, round(rep.path_length, 2), round(rep.augmented_path_length, 2),
+             round(rep.shortcut_gain, 3), round(rep.mean_separation, 2),
+             f"{100 * rep.coverage:.0f}%"]
+        )
+    print(format_table(
+        ["NoC", "L physical", "L + shortcuts", "gain", "mean separation",
+         "coverage"],
+        rows,
+        title="path-length contraction as contacts are added",
+    ))
+
+    sep = degrees_of_separation(card.membership, card.contact_tables,
+                                sources=range(80))
+    covered = sep[sep >= 0]
+    print(f"\ndegrees of separation over covered pairs: "
+          f"mean {covered.mean():.2f}, max {covered.max()} levels "
+          f"(vs {l_phys:.1f} raw hops) — a few introductions replace "
+          "a dozen relays")
+
+
+if __name__ == "__main__":
+    main()

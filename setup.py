@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists only so that
+``pip install -e .`` works on environments whose setuptools predates PEP 660
+editable installs (and offline environments without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""CARD: Contact-Based Architecture for Resource Discovery in large-scale
+MANets — a full reproduction of Garg, Pamu, Nahata & Helmy (IPDPS 2003).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Topology, Network, CARDProtocol, CARDParams
+>>> rng = np.random.default_rng(7)
+>>> topo = Topology.uniform_random(200, (500.0, 500.0), 60.0, rng)
+>>> card = CARDProtocol(Network(topo), CARDParams(R=2, r=6, noc=4), seed=7)
+>>> _ = card.bootstrap()
+>>> result = card.query(0, 150, max_depth=3)
+>>> result.success in (True, False)
+True
+
+Package layout
+--------------
+``repro.core``       — the CARD protocol (selection / maintenance / query)
+``repro.net``        — wireless substrate (topology, graph, messages, stats)
+``repro.des``        — discrete-event engine
+``repro.mobility``   — random-waypoint and friends
+``repro.routing``    — neighborhood oracle + scoped DSDV
+``repro.discovery``  — flooding / expanding-ring / bordercast baselines
+``repro.scenarios``  — Table 1 scenarios and workload generation
+``repro.metrics``    — comparison and summary helpers
+``repro.experiments``— one module per paper table/figure
+"""
+
+from repro._version import __version__
+from repro.core import (
+    CARDParams,
+    CARDProtocol,
+    Contact,
+    ContactTable,
+    SelectionMethod,
+    SnapshotRunner,
+    TimeSeriesRunner,
+)
+from repro.des import Simulator
+from repro.mobility import (
+    GaussMarkov,
+    RandomWalk,
+    RandomWaypoint,
+    StaticMobility,
+)
+from repro.net import MessageStats, Network, Topology
+from repro.net.energy import EnergyModel
+from repro.net.failures import FailureInjector
+from repro.resources import ResourceQueryEngine, ResourceRegistry
+from repro.analysis import smallworld_report
+from repro.routing import DSDVNeighborhoodTables, NeighborhoodTables, ScopedDSDV
+from repro.discovery import (
+    BordercastDiscovery,
+    CARDDiscoveryAdapter,
+    ExpandingRingDiscovery,
+    FloodingDiscovery,
+)
+from repro.scenarios import TABLE1_SCENARIOS, build_topology, get_scenario
+
+__all__ = [
+    "__version__",
+    "CARDParams",
+    "CARDProtocol",
+    "Contact",
+    "ContactTable",
+    "SelectionMethod",
+    "SnapshotRunner",
+    "TimeSeriesRunner",
+    "Simulator",
+    "GaussMarkov",
+    "RandomWalk",
+    "RandomWaypoint",
+    "StaticMobility",
+    "MessageStats",
+    "Network",
+    "Topology",
+    "EnergyModel",
+    "FailureInjector",
+    "ResourceQueryEngine",
+    "ResourceRegistry",
+    "smallworld_report",
+    "DSDVNeighborhoodTables",
+    "NeighborhoodTables",
+    "ScopedDSDV",
+    "BordercastDiscovery",
+    "CARDDiscoveryAdapter",
+    "ExpandingRingDiscovery",
+    "FloodingDiscovery",
+    "TABLE1_SCENARIOS",
+    "build_topology",
+    "get_scenario",
+]

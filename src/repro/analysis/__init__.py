@@ -1,0 +1,36 @@
+"""Structural analysis: the small-world theory behind CARD.
+
+The paper grounds contacts in Watts-Strogatz small worlds ([10][11]) and
+Helmy's observation that adding a few shortcuts to a wireless network
+collapses its degrees of separation ([13]).  This package makes those
+claims measurable on our substrate:
+
+* :func:`~repro.analysis.smallworld.clustering_coefficient` and
+  :func:`~repro.analysis.smallworld.characteristic_path_length` — the two
+  Watts-Strogatz statistics;
+* :func:`~repro.analysis.smallworld.contact_graph` — the *virtual overlay*
+  CARD builds: zones contracted to supernodes linked by contact edges;
+* :func:`~repro.analysis.smallworld.degrees_of_separation` — hop distance
+  measured through the CARD structure (zone hops are free knowledge, each
+  contact edge is one "introduction"), quantifying the shortcut effect;
+* :func:`~repro.analysis.smallworld.smallworld_report` — all of the above
+  side by side for a protocol instance.
+"""
+
+from repro.analysis.smallworld import (
+    clustering_coefficient,
+    characteristic_path_length,
+    contact_graph,
+    degrees_of_separation,
+    smallworld_report,
+    SmallWorldReport,
+)
+
+__all__ = [
+    "clustering_coefficient",
+    "characteristic_path_length",
+    "contact_graph",
+    "degrees_of_separation",
+    "smallworld_report",
+    "SmallWorldReport",
+]

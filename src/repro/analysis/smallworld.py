@@ -1,0 +1,179 @@
+"""Small-world statistics of the physical network and CARD's overlay.
+
+Watts & Strogatz characterize small worlds by a high clustering
+coefficient together with a short characteristic path length.  Spatial
+unit-disk graphs are highly clustered but have *long* path lengths
+(distance grows like the square root of area) — exactly the regime where a
+few random shortcuts collapse the diameter.  CARD's contacts are those
+shortcuts; the functions here quantify how far they push the network
+toward a small world.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.state import ContactTable
+from repro.net import graph as g
+
+__all__ = [
+    "clustering_coefficient",
+    "characteristic_path_length",
+    "contact_graph",
+    "degrees_of_separation",
+    "smallworld_report",
+    "SmallWorldReport",
+]
+
+
+def clustering_coefficient(adj: Sequence[np.ndarray]) -> float:
+    """Mean local clustering coefficient (Watts-Strogatz definition).
+
+    For each node with degree ≥ 2: the fraction of its neighbor pairs that
+    are themselves linked; nodes with degree < 2 contribute 0 (the common
+    convention that keeps the statistic defined on sparse graphs).
+    """
+    n = len(adj)
+    if n == 0:
+        return 0.0
+    neighbor_sets = [set(int(v) for v in nbrs) for nbrs in adj]
+    total = 0.0
+    for u in range(n):
+        nbrs = adj[u]
+        k = len(nbrs)
+        if k < 2:
+            continue
+        links = 0
+        for i in range(k):
+            vi = int(nbrs[i])
+            si = neighbor_sets[vi]
+            for j in range(i + 1, k):
+                if int(nbrs[j]) in si:
+                    links += 1
+        total += 2.0 * links / (k * (k - 1))
+    return total / n
+
+
+def characteristic_path_length(adj: Sequence[np.ndarray]) -> float:
+    """Mean hop distance over connected pairs (the Watts-Strogatz L)."""
+    dist = g.hop_distance_matrix(adj)
+    finite = dist[dist > 0]
+    return float(finite.mean()) if finite.size else 0.0
+
+
+def contact_graph(
+    contact_tables: Dict[int, ContactTable], num_nodes: int
+) -> List[np.ndarray]:
+    """The contact overlay as an undirected adjacency structure.
+
+    Nodes are physical nodes; an edge (u, c) exists when c is a contact of
+    u.  Contacts are directed in the protocol (u stores the route), but
+    reachability through them is effectively bidirectional once the reply
+    has installed the reverse route, so the overlay is symmetrized.
+    """
+    buckets: List[set] = [set() for _ in range(num_nodes)]
+    for u, table in contact_tables.items():
+        for c in table.ids():
+            buckets[int(u)].add(int(c))
+            buckets[int(c)].add(int(u))
+    return [np.array(sorted(b), dtype=np.int64) for b in buckets]
+
+
+def degrees_of_separation(
+    membership: np.ndarray,
+    contact_tables: Dict[int, ContactTable],
+    sources: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Contact-level distance from each source to every node.
+
+    Level 0: the source's own zone (free, proactive knowledge).  Level k:
+    nodes in the zones of k-th level contacts.  −1 marks nodes unreachable
+    through the structure at any depth.  This is the "degrees of
+    separation" the paper says contacts reduce (§I) — a BFS over zones
+    linked by contact edges.
+
+    Returns an ``(S, N)`` int array for the given sources (default all).
+    """
+    n = membership.shape[0]
+    srcs = list(range(n)) if sources is None else [int(s) for s in sources]
+    out = np.full((len(srcs), n), -1, dtype=np.int32)
+    for row, s in enumerate(srcs):
+        level = 0
+        frontier = [s]
+        seen_holders = {s}
+        reached = out[row]
+        while frontier:
+            zone_mask = membership[np.asarray(frontier, dtype=np.int64)].any(axis=0)
+            newly = zone_mask & (reached < 0)
+            reached[newly] = level
+            nxt = []
+            for holder in frontier:
+                table = contact_tables.get(holder)
+                if table is None:
+                    continue
+                for c in table.ids():
+                    if c not in seen_holders:
+                        seen_holders.add(c)
+                        nxt.append(int(c))
+            frontier = nxt
+            level += 1
+        out[row] = reached
+    return out
+
+
+@dataclass(frozen=True)
+class SmallWorldReport:
+    """Side-by-side small-world statistics for one CARD deployment."""
+
+    #: Watts-Strogatz C of the physical unit-disk graph
+    clustering: float
+    #: Watts-Strogatz L of the physical graph (hop metric)
+    path_length: float
+    #: mean hop distance if every contact edge were a one-hop wormhole
+    augmented_path_length: float
+    #: mean contact levels needed to cover reachable nodes (zone hops free)
+    mean_separation: float
+    #: fraction of (source, node) pairs covered by the structure at any level
+    coverage: float
+
+    @property
+    def shortcut_gain(self) -> float:
+        """Path-length contraction factor from adding contacts."""
+        if self.augmented_path_length <= 0:
+            return 1.0
+        return self.path_length / self.augmented_path_length
+
+
+def smallworld_report(
+    adj: Sequence[np.ndarray],
+    membership: np.ndarray,
+    contact_tables: Dict[int, ContactTable],
+    sources: Optional[Sequence[int]] = None,
+) -> SmallWorldReport:
+    """Compute a :class:`SmallWorldReport` for a bootstrapped protocol.
+
+    The *augmented* graph adds every contact pair as a direct edge to the
+    physical adjacency — the idealized "short cut" reading of [13] — and
+    re-measures the characteristic path length on it.
+    """
+    n = len(adj)
+    overlay = contact_graph(contact_tables, n)
+    augmented = [
+        np.array(sorted(set(int(v) for v in adj[u]) | set(int(v) for v in overlay[u])),
+                 dtype=np.int64)
+        for u in range(n)
+    ]
+    sep = degrees_of_separation(membership, contact_tables, sources)
+    covered = sep >= 0
+    mean_sep = float(sep[covered].mean()) if covered.any() else 0.0
+    return SmallWorldReport(
+        clustering=clustering_coefficient(adj),
+        path_length=characteristic_path_length(adj),
+        augmented_path_length=characteristic_path_length(augmented),
+        mean_separation=mean_sep,
+        coverage=float(covered.mean()),
+    )

@@ -1,0 +1,124 @@
+"""The paper's reachability metric (§III.B, §IV.A).
+
+Reachability of a source = the percentage of network nodes it can reach:
+its own neighborhood, plus the neighborhoods of its contacts (D=1), plus
+the neighborhoods of its contacts' contacts (D=2), etc.
+
+The paper reports reachability two ways and we provide both:
+
+* a per-node percentage (Figs 3, 14 plot its mean);
+* a **distribution**: the number of nodes falling into each 5 %
+  reachability bin (the x-axes "5 10 15 ... 100" of Figs 5-9).
+
+Implementation notes: membership is the boolean N×N matrix from
+:class:`~repro.routing.neighborhood.NeighborhoodTables`; the union over a
+contact level is a vectorized OR-reduction over its rows, so computing all
+N source reachabilities at D=1 is ~N·NoC row ORs — no Python-level set
+unions (HPC-guide idiom: operate on whole arrays).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.state import ContactTable
+
+__all__ = [
+    "DIST_BIN_EDGES",
+    "reachability_percent",
+    "reachability_all",
+    "reachability_distribution",
+    "contact_ids_map",
+]
+
+#: Upper edges of the paper's reachability histogram bins (percent).
+DIST_BIN_EDGES: np.ndarray = np.arange(5, 105, 5)
+
+
+def contact_ids_map(
+    tables: Dict[int, ContactTable], *, max_contacts: Optional[int] = None
+) -> Dict[int, Sequence[int]]:
+    """Extract ``source → contact ids`` (optionally truncated to a prefix).
+
+    Truncation enables "reachability vs NoC" curves from a single NoC=max
+    selection run: the first ``k`` contacts of a table are exactly what a
+    run with NoC=k would have selected (selection is sequential).
+    """
+    out: Dict[int, Sequence[int]] = {}
+    for src, table in tables.items():
+        ids = table.ids()
+        out[src] = ids if max_contacts is None else ids[:max_contacts]
+    return out
+
+
+def reachability_percent(
+    membership: np.ndarray,
+    contacts: Dict[int, Sequence[int]],
+    source: int,
+    depth: int = 1,
+) -> float:
+    """Reachability (%) of one source at contact depth ``depth``.
+
+    Parameters
+    ----------
+    membership:
+        Boolean ``(N, N)`` neighborhood matrix (``membership[u, v]`` iff v
+        within R hops of u).
+    contacts:
+        ``node → contact ids``; nodes absent from the map have none.
+    source, depth:
+        The querying node and the depth of search D (levels of contacts).
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    n = membership.shape[0]
+    reached = membership[source].copy()
+    level = {int(source)}
+    seen = {int(source)}
+    for _ in range(depth):
+        nxt = set()
+        for u in level:
+            for c in contacts.get(u, ()):
+                c = int(c)
+                if c not in seen:
+                    nxt.add(c)
+                    seen.add(c)
+        if not nxt:
+            break
+        rows = membership[np.fromiter(nxt, dtype=np.int64)]
+        reached |= rows.any(axis=0)
+        level = nxt
+    return 100.0 * float(reached.sum()) / n
+
+
+def reachability_all(
+    membership: np.ndarray,
+    contacts: Dict[int, Sequence[int]],
+    sources: Optional[Sequence[int]] = None,
+    depth: int = 1,
+) -> np.ndarray:
+    """Reachability (%) for every source (or the given subset)."""
+    n = membership.shape[0]
+    srcs = range(n) if sources is None else sources
+    return np.array(
+        [reachability_percent(membership, contacts, int(s), depth) for s in srcs],
+        dtype=np.float64,
+    )
+
+
+def reachability_distribution(percents: np.ndarray) -> np.ndarray:
+    """Histogram of reachability percentages over the paper's 5 % bins.
+
+    Returns 20 counts for the bins ``(0, 5], (5, 10], ..., (95, 100]``;
+    a node with 0 % reachability (isolated, no neighborhood) lands in the
+    first bin.  ``sum(counts) == len(percents)`` always.
+    """
+    p = np.asarray(percents, dtype=np.float64)
+    if p.size and (p.min() < 0.0 or p.max() > 100.0):
+        raise ValueError("reachability percentages must lie in [0, 100]")
+    # right-closed bins via a tiny left shift of the sample
+    idx = np.clip(np.ceil(p / 5.0).astype(np.int64) - 1, 0, 19)
+    counts = np.bincount(idx, minlength=20)
+    return counts

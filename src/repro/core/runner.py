@@ -1,0 +1,337 @@
+"""Experiment runners: static snapshots and mobile time series.
+
+Two measurement regimes cover all of the paper's figures:
+
+* :class:`SnapshotRunner` — a static topology; contacts are selected once
+  and reachability / selection overhead are measured (Figs 3-9 and the
+  trade-off Fig 14).  This matches the paper's reachability analysis,
+  which evaluates the *structure* CARD builds.
+* :class:`TimeSeriesRunner` — random-waypoint (or other) mobility with
+  per-node periodic validation, local recovery and contact replenishment;
+  control messages are binned over time (Figs 10-13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.params import CARDParams
+from repro.core.protocol import CARDProtocol
+from repro.core.reachability import contact_ids_map, reachability_all, reachability_distribution
+from repro.core.selection import SourceSelectionResult
+from repro.des.engine import Simulator
+from repro.des.process import PeriodicProcess
+from repro.mobility.base import MobilityDriver, MobilityModel
+from repro.net.messages import MessageKind
+from repro.net.network import Network
+from repro.net.stats import OVERHEAD_CATEGORIES
+from repro.net.topology import Topology
+from repro.util.rng import RngStreams
+
+__all__ = [
+    "SnapshotRunner",
+    "SnapshotResult",
+    "TimeSeriesRunner",
+    "TimeSeriesResult",
+]
+
+
+# ----------------------------------------------------------------------
+# snapshot regime
+# ----------------------------------------------------------------------
+@dataclass
+class SnapshotResult:
+    """Everything a reachability/overhead snapshot experiment reports."""
+
+    params: CARDParams
+    num_nodes: int
+    #: sources that ran contact selection
+    sources: List[int]
+    #: per-source reachability (%) at the configured depth
+    reachability: np.ndarray
+    #: the 20-bin reachability histogram (Figs 5-9 series)
+    distribution: np.ndarray
+    #: per-source selection results (attempts, msgs, per-contact marks)
+    selection: Dict[int, SourceSelectionResult]
+    #: network-wide message totals by category name
+    message_totals: Dict[str, int]
+
+    @property
+    def mean_reachability(self) -> float:
+        return float(self.reachability.mean()) if self.reachability.size else 0.0
+
+    @property
+    def mean_contacts(self) -> float:
+        if not self.selection:
+            return 0.0
+        return float(
+            np.mean([r.num_contacts for r in self.selection.values()])
+        )
+
+    def backtracking_per_node(self) -> float:
+        """Mean CSQ backtracking messages per source (Fig 4's y-axis)."""
+        if not self.selection:
+            return 0.0
+        return float(
+            np.mean([r.backtrack_msgs for r in self.selection.values()])
+        )
+
+    def selection_per_node(self) -> float:
+        """Mean CSQ forward messages per source."""
+        if not self.selection:
+            return 0.0
+        return float(np.mean([r.forward_msgs for r in self.selection.values()]))
+
+
+class SnapshotRunner:
+    """Static-topology CARD measurement.
+
+    Parameters
+    ----------
+    topology:
+        The (already placed) network.
+    params:
+        CARD configuration.
+    seed:
+        Root seed for protocol randomness.
+    sources:
+        Which nodes select contacts; default all.  Reachability at depth
+        D≥2 follows contacts of *any* node, so restricting sources is only
+        meaningful for D=1 studies or quick looks.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: CARDParams,
+        *,
+        seed: Optional[int] = None,
+        sources: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.network = Network(topology)
+        self.params = params
+        self.seed = seed
+        self.sources = (
+            list(range(topology.num_nodes))
+            if sources is None
+            else [int(s) for s in sources]
+        )
+        self.protocol = CARDProtocol(self.network, params, seed=seed)
+
+    def run(self) -> SnapshotResult:
+        """Select contacts for all sources, then measure."""
+        selection = self.protocol.bootstrap(self.sources)
+        reach = self.protocol.reachability(self.sources)
+        return SnapshotResult(
+            params=self.params,
+            num_nodes=self.network.num_nodes,
+            sources=list(self.sources),
+            reachability=reach,
+            distribution=reachability_distribution(reach),
+            selection=selection,
+            message_totals=self.network.stats.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    def sweep_noc(self, result: SnapshotResult, noc_values: Sequence[int]):
+        """Reachability and overhead as a function of NoC from one run.
+
+        Because selection is sequential, the first ``k`` contacts of a
+        NoC=K run are exactly a NoC=k run's contacts, and the cumulative
+        message marks recorded per contact give the matching overhead —
+        one run yields the whole Fig 3/Fig 4 x-axis (common random numbers
+        across sweep points, variance-free comparisons).
+
+        Returns a list of rows ``(noc, mean_reachability, mean_forward,
+        mean_backtrack)``.
+        """
+        membership = self.protocol.membership
+        rows = []
+        for k in noc_values:
+            contacts = contact_ids_map(
+                self.protocol.contact_tables, max_contacts=int(k)
+            )
+            reach = reachability_all(
+                membership, contacts, self.sources, self.params.depth
+            )
+            fwd: List[int] = []
+            back: List[int] = []
+            for s in self.sources:
+                sel = result.selection[s]
+                marks = sel.per_contact_cumulative
+                if k <= 0:
+                    fwd.append(0)
+                    back.append(0)
+                elif len(marks) >= k:
+                    f, b = marks[k - 1]
+                    fwd.append(f)
+                    back.append(b)
+                else:
+                    # fewer than k contacts achieved: all messages were spent
+                    fwd.append(sel.forward_msgs)
+                    back.append(sel.backtrack_msgs)
+            rows.append(
+                (
+                    int(k),
+                    float(reach.mean()) if reach.size else 0.0,
+                    float(np.mean(fwd)) if fwd else 0.0,
+                    float(np.mean(back)) if back else 0.0,
+                )
+            )
+        return rows
+
+
+# ----------------------------------------------------------------------
+# time-series regime
+# ----------------------------------------------------------------------
+@dataclass
+class TimeSeriesResult:
+    """Binned control-message series under mobility (Figs 10-13)."""
+
+    params: CARDParams
+    num_nodes: int
+    duration: float
+    time_bin: float
+    #: bin-end timestamps (2, 4, 6, ... as in the paper's x-axes)
+    times: List[float]
+    #: total overhead (selection+backtrack+validation) per node, per bin
+    overhead: List[float]
+    #: maintenance (validation) messages per node, per bin
+    maintenance: List[float]
+    #: selection forward messages per node, per bin
+    selection: List[float]
+    #: backtracking messages per node, per bin
+    backtracking: List[float]
+    #: total contacts held across sources, sampled at each bin end
+    total_contacts: List[int]
+    #: contacts lost / reselected per bin (summed over sources)
+    lost_per_bin: List[int]
+    #: number of sources maintaining contacts
+    num_sources: int
+
+
+class TimeSeriesRunner:
+    """Mobility + maintenance measurement.
+
+    Parameters
+    ----------
+    topology, params:
+        As for :class:`SnapshotRunner`.
+    mobility_factory:
+        Callable ``(positions, area, rng) -> MobilityModel`` — lets callers
+        choose RWP parameters or a different model entirely.
+    duration:
+        Simulated seconds to run *after* the bootstrap selection.
+    seed:
+        Root seed (drives mobility, timers and walks independently).
+    sources:
+        Nodes that maintain contacts (default all).
+    mobility_step:
+        Topology update interval (s).
+    count_bootstrap:
+        Include the initial selection burst in the series (default False:
+        the paper's series start after the network has contacts).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: CARDParams,
+        mobility_factory,
+        *,
+        duration: float = 10.0,
+        seed: Optional[int] = None,
+        sources: Optional[Sequence[int]] = None,
+        mobility_step: float = 0.5,
+        count_bootstrap: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.params = params
+        self.duration = float(duration)
+        self.streams = RngStreams(seed)
+        self.sim = Simulator()
+        self.network = Network(topology, sim=self.sim)
+        self.protocol = CARDProtocol(self.network, params, seed=seed)
+        self.sources = (
+            list(range(topology.num_nodes))
+            if sources is None
+            else [int(s) for s in sources]
+        )
+        self.mobility = mobility_factory(
+            topology.positions, topology.area, self.streams.get("mobility")
+        )
+        self.mobility_step = float(mobility_step)
+        self.count_bootstrap = bool(count_bootstrap)
+        self._lost_current_bin = 0
+        self._lost_per_bin: List[int] = []
+        self._contacts_samples: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _maintain(self, source: int) -> None:
+        outcomes, _reselect = self.protocol.maintain(source)
+        self._lost_current_bin += sum(1 for o in outcomes if not o.ok)
+
+    def _sample_bin(self) -> None:
+        self._contacts_samples.append(self.protocol.total_contacts())
+        self._lost_per_bin.append(self._lost_current_bin)
+        self._lost_current_bin = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> TimeSeriesResult:
+        p = self.params
+        stats = self.network.stats
+        # 1) bootstrap contacts on the initial topology
+        self.protocol.bootstrap(self.sources)
+        if not self.count_bootstrap:
+            stats.reset()
+        # 2) wire mobility
+        driver = MobilityDriver(
+            self.sim,
+            self.topology,
+            self.mobility,
+            step_interval=self.mobility_step,
+        )
+        # 3) per-source validation timers (jittered phases)
+        procs = [
+            PeriodicProcess(
+                self.sim,
+                p.validation_period,
+                (lambda s=s: self._maintain(s)),
+                jitter=p.validation_jitter,
+                rng=self.streams.get("timer", s),
+            )
+            for s in self.sources
+        ]
+        # 4) bin sampler at each stats bin end
+        bin_w = stats.time_bin
+        sampler = PeriodicProcess(
+            self.sim, bin_w, self._sample_bin, start_delay=bin_w
+        )
+        self.sim.run(until=self.duration)
+        # flush a final partial bin sample if the horizon isn't bin-aligned
+        nbins = int(np.ceil(self.duration / bin_w))
+        while len(self._contacts_samples) < nbins:
+            self._sample_bin()
+        for proc in procs:
+            proc.stop()
+        sampler.stop()
+        driver.stop()
+
+        times = [bin_w * (i + 1) for i in range(nbins)]
+        return TimeSeriesResult(
+            params=p,
+            num_nodes=self.network.num_nodes,
+            duration=self.duration,
+            time_bin=bin_w,
+            times=times,
+            overhead=stats.series(OVERHEAD_CATEGORIES, self.duration),
+            maintenance=stats.series([MessageKind.VALIDATION], self.duration),
+            selection=stats.series([MessageKind.CONTACT_SELECTION], self.duration),
+            backtracking=stats.series([MessageKind.BACKTRACK], self.duration),
+            total_contacts=list(self._contacts_samples),
+            lost_per_bin=list(self._lost_per_bin),
+            num_sources=len(self.sources),
+        )

@@ -1,0 +1,332 @@
+"""Contact selection: the CSQ depth-first random walk (§III.C.1-2).
+
+Procedure (paper steps 1-6):
+
+1. The source sends a Contact Selection Query through an edge node (we
+   route it there along the intra-zone path, counting those hops).
+2. The edge node forwards the CSQ to a randomly chosen neighbor.
+3. The receiving node decides whether to become a contact — by the
+   **Probabilistic Method** (admission probability eq. 1/2 after checking
+   overlap with the source and Contact_List) or the **Edge Method**
+   (deterministic, additionally checking the Edge_List so that admission
+   implies a true hop distance > 2R).
+4. A node that declines forwards the query to a randomly chosen neighbor it
+   has not been seen by (query/source ids suppress loops).
+5. The CSQ walks depth-first up to ``r`` hops from the source and
+   **backtracks** when stuck; backtrack hops are accounted separately
+   (Figs 4, 12 plot exactly this cost).
+6. On admission the walk path becomes the stored source route.
+
+The walk is *exhaustive*: a CSQ that backtracks all the way out of its walk
+has visited every node it could reach within the ``r``-step budget.  Under
+EM a failed CSQ is strong (though not absolute — the depth at which the
+random walk first reaches a node can exceed that node's true distance, so a
+re-walk occasionally finds an admissible node a previous walk only touched
+too deep) evidence that the contact region is saturated; this saturation is
+the mechanism behind the paper's "actual number of contacts chosen is
+usually less than NoC" and the reachability plateau of Fig 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.params import CARDParams, SelectionMethod
+from repro.core.state import Contact, ContactTable
+from repro.net.messages import ContactSelectionQuery, MessageKind, next_query_id
+from repro.net.network import Network
+from repro.routing.neighborhood import NeighborhoodTables
+
+__all__ = ["ContactSelector", "SelectionOutcome", "SourceSelectionResult"]
+
+
+@dataclass
+class SelectionOutcome:
+    """Result of one CSQ walk."""
+
+    #: the admitted contact's id, or None if the walk failed
+    contact: Optional[int]
+    #: walk path source→contact when successful (the stored source route)
+    path: Optional[List[int]]
+    #: CSQ forward transmissions (includes the source→edge segment)
+    forward_msgs: int
+    #: CSQ backtrack transmissions
+    backtrack_msgs: int
+    #: distinct nodes that saw the query
+    nodes_visited: int
+    #: True when the walk explored its whole reachable region and gave up
+    exhausted: bool
+
+    @property
+    def total_msgs(self) -> int:
+        return self.forward_msgs + self.backtrack_msgs
+
+
+@dataclass
+class SourceSelectionResult:
+    """Result of selecting up to NoC contacts for one source."""
+
+    source: int
+    table: ContactTable
+    #: CSQ walks launched
+    attempts: int
+    forward_msgs: int = 0
+    backtrack_msgs: int = 0
+    #: cumulative (forward, backtrack) totals *after* the k-th contact was
+    #: added — lets a single NoC=K run report every NoC<K sweep point
+    per_contact_cumulative: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def total_msgs(self) -> int:
+        return self.forward_msgs + self.backtrack_msgs
+
+    @property
+    def num_contacts(self) -> int:
+        return len(self.table)
+
+
+class _Frame:
+    """One node on the DFS stack, with its lazily shuffled neighbor order."""
+
+    __slots__ = ("node", "order", "next_idx")
+
+    def __init__(self, node: int, order: np.ndarray) -> None:
+        self.node = node
+        self.order = order
+        self.next_idx = 0
+
+
+class ContactSelector:
+    """Executes CSQ walks over a network + neighborhood-table pair.
+
+    Parameters
+    ----------
+    network:
+        Connectivity, clock and message accounting.
+    tables:
+        R-hop neighborhood knowledge (oracle or DSDV-backed adapter).
+    params:
+        CARD configuration (method, R, r, NoC, caps).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        tables: NeighborhoodTables,
+        params: CARDParams,
+    ) -> None:
+        if tables.radius != params.R:
+            raise ValueError(
+                f"neighborhood tables radius {tables.radius} != params.R {params.R}"
+            )
+        self.network = network
+        self.tables = tables
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # admission decision (§III.C.2)
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        candidate: int,
+        source: int,
+        contact_list: Sequence[int],
+        edge_list: Sequence[int],
+        d: int,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Would ``candidate``, at walk distance ``d``, become a contact?"""
+        p = self.params
+        member = self.tables.membership
+        # a node that already is a contact can never be re-admitted,
+        # independent of any overlap policy (identity dedup)
+        if candidate in contact_list:
+            return False
+        # overlap with the source's neighborhood (always checked)
+        if member[candidate, source]:
+            return False
+        # overlap with already-selected contacts' neighborhoods
+        if p.check_contact_overlap and len(contact_list) > 0:
+            ids = np.fromiter(contact_list, dtype=np.int64)
+            if member[candidate, ids].any():
+                return False
+        if p.method is SelectionMethod.EM:
+            # Edge Method: also require no edge node in the neighborhood,
+            # which guarantees true hop distance > 2R (§III.C.2b)
+            if p.check_edge_overlap and len(edge_list) > 0:
+                ids = np.asarray(edge_list, dtype=np.int64)
+                if member[candidate, ids].any():
+                    return False
+            return True
+        # Probabilistic Method
+        prob = p.admission_probability(d)
+        if prob <= 0.0:
+            return False
+        return bool(rng.random() < prob)
+
+    # ------------------------------------------------------------------
+    # one CSQ walk
+    # ------------------------------------------------------------------
+    def select_one(
+        self,
+        source: int,
+        edge_node: int,
+        contact_list: Sequence[int],
+        rng: np.random.Generator,
+    ) -> SelectionOutcome:
+        """Launch one CSQ through ``edge_node`` and walk it to completion."""
+        p = self.params
+        net = self.network
+        adj = net.adj
+        n = net.num_nodes
+        edge_list = (
+            tuple(int(e) for e in self.tables.edge_nodes(source))
+            if p.method is SelectionMethod.EM
+            else ()
+        )
+        msg = ContactSelectionQuery(
+            source=source,
+            query_id=next_query_id(),
+            contact_list=tuple(int(c) for c in contact_list),
+            edge_list=edge_list if p.method is SelectionMethod.EM else None,
+        )
+
+        seg = self.tables.path_within(source, edge_node)
+        if seg is None:
+            return SelectionOutcome(None, None, 0, 0, 0, exhausted=False)
+
+        forward = 0
+        backtrack = 0
+        # source → edge segment (step 1)
+        for hop_tx in seg[:-1]:
+            net.transmit(msg, int(hop_tx))
+            forward += 1
+
+        # Loop prevention (§III.C.2b): under EM the CSQ carries query and
+        # source ids, so a node that has already seen this query drops it —
+        # the DFS marks nodes globally visited.  The paper does NOT give PM
+        # this mechanism; its walk only avoids its immediate predecessor,
+        # may revisit nodes, and is bounded by a step cap (a TTL stand-in).
+        # This asymmetry is what makes PM's backtracking explode in Fig 4.
+        use_visited = p.effective_loop_prevention
+        cap = p.effective_max_walk_steps
+
+        visited = np.zeros(n, dtype=bool)
+        visited[seg] = True
+        seen_count = len(seg)
+        stack: List[_Frame] = [
+            _Frame(int(u), rng.permutation(adj[int(u)])) for u in seg
+        ]
+        steps = 0
+
+        while stack:
+            if cap is not None and steps >= cap:
+                return SelectionOutcome(
+                    None, None, forward, backtrack, seen_count, exhausted=False
+                )
+            frame = stack[-1]
+            d = len(stack) - 1  # walk distance of frame.node from source
+            prev = stack[-2].node if len(stack) >= 2 else -1
+            nxt: Optional[int] = None
+            if d < p.r:  # may advance deeper (step 5 bounds the walk at r)
+                while frame.next_idx < len(frame.order):
+                    cand = int(frame.order[frame.next_idx])
+                    frame.next_idx += 1
+                    if use_visited:
+                        if not visited[cand]:
+                            nxt = cand
+                            break
+                    elif cand != prev:
+                        nxt = cand
+                        break
+            if nxt is None:
+                # stuck: backtrack (step 5)
+                stack.pop()
+                if stack:
+                    net.transmit(msg, frame.node, kind=MessageKind.BACKTRACK)
+                    backtrack += 1
+                    steps += 1
+                continue
+            # forward the CSQ to `nxt`
+            net.transmit(msg, frame.node)
+            forward += 1
+            steps += 1
+            if not visited[nxt]:
+                visited[nxt] = True
+                seen_count += 1
+            stack.append(_Frame(nxt, rng.permutation(adj[nxt])))
+            msg.hop_count = len(stack) - 1
+            # admission decision at the receiving node (step 3)
+            if self.admit(nxt, source, contact_list, edge_list, len(stack) - 1, rng):
+                path = [f.node for f in stack]
+                # the path reply travels back to the source (step 6);
+                # REPLY traffic is accounted but excluded from the paper's
+                # selection-overhead category.
+                for hop_tx in reversed(path[1:]):
+                    net.transmit(msg, int(hop_tx), kind=MessageKind.REPLY)
+                return SelectionOutcome(
+                    nxt, path, forward, backtrack, seen_count, exhausted=False
+                )
+        # walk backtracked past its origin: region exhausted
+        return SelectionOutcome(
+            None, None, forward, backtrack, seen_count, exhausted=True
+        )
+
+    # ------------------------------------------------------------------
+    # full selection for one source
+    # ------------------------------------------------------------------
+    def select_contacts(
+        self,
+        source: int,
+        rng: np.random.Generator,
+        *,
+        table: Optional[ContactTable] = None,
+        noc: Optional[int] = None,
+        now: float = 0.0,
+    ) -> SourceSelectionResult:
+        """Select up to ``noc`` contacts for ``source`` (§III.C.1).
+
+        CSQs are launched through the source's edge nodes round-robin (in a
+        random order), one at a time; selection stops when the target NoC
+        is reached, when there are no edge nodes, or after
+        ``params.max_failed_queries`` consecutive exhausted walks (the
+        region is saturated — more contacts cannot exist without overlap).
+        """
+        from repro.core.edge_policy import EdgePolicy, next_edge, order_edges
+
+        p = self.params
+        target = p.noc if noc is None else int(noc)
+        table = ContactTable(source) if table is None else table
+        result = SourceSelectionResult(source=source, table=table, attempts=0)
+        edges = [int(e) for e in self.tables.edge_nodes(source)]
+        if not edges or target <= len(table):
+            return result
+        policy = p.edge_policy if p.edge_policy is not None else EdgePolicy.RANDOM
+        ordered = order_edges(policy, edges, self.tables, rng)
+        productive: List[int] = []  # edges whose CSQ yielded a contact
+        attempt = 0
+        failures = 0
+        while len(table) < target and failures < p.max_failed_queries:
+            edge = next_edge(policy, ordered, attempt, productive, self.tables)
+            assert edge is not None
+            attempt += 1
+            outcome = self.select_one(source, edge, table.ids(), rng)
+            result.attempts += 1
+            result.forward_msgs += outcome.forward_msgs
+            result.backtrack_msgs += outcome.backtrack_msgs
+            if outcome.contact is not None and outcome.path is not None:
+                table.add(Contact(outcome.contact, outcome.path, selected_at=now))
+                result.per_contact_cumulative.append(
+                    (result.forward_msgs, result.backtrack_msgs)
+                )
+                productive.append(edge)
+                failures = 0
+            else:
+                # Exhausted and step-capped walks both count as failures;
+                # under EM an exhausted walk is near-conclusive evidence of
+                # saturation, so max_failed_queries stays small.
+                failures += 1
+        return result

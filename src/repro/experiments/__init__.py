@@ -1,0 +1,25 @@
+"""Experiment harness: one module per paper table/figure, plus ablations.
+
+Every experiment is a function returning an
+:class:`~repro.experiments.base.ExperimentResult` (headers + rows + an
+ASCII rendering of the figure's shape).  The registry maps experiment ids
+(``table1``, ``fig03`` ... ``fig15``, ``ablation_*``) to these functions;
+``python -m repro.experiments <id>`` runs one from the command line, and
+each ``benchmarks/bench_<id>.py`` wraps the same function in
+pytest-benchmark at a reduced scale.
+
+All experiments accept a ``scale`` argument in ``(0, 1]``: 1.0 reproduces
+the paper's parameters; smaller values shrink network size and/or the
+measured source sample proportionally (used by CI and the benchmarks).
+"""
+
+from repro.experiments.base import ExperimentResult, standard_topology
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "standard_topology",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,75 @@
+"""Command-line entry point: ``python -m repro.experiments <id> [options]``.
+
+Examples
+--------
+Run one figure at paper scale::
+
+    python -m repro.experiments fig07
+
+Run everything quickly (CI smoke)::
+
+    python -m repro.experiments all --scale 0.3 --sources 40
+
+List available experiment ids::
+
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce CARD paper tables/figures as text.",
+    )
+    parser.add_argument(
+        "exp_id",
+        nargs="?",
+        help="experiment id (e.g. table1, fig07, fig15, ablation_recovery) "
+        "or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--scale", type=float, default=1.0, help="size scale (0,1]")
+    parser.add_argument(
+        "--sources",
+        type=int,
+        default=None,
+        help="measure a random sample of this many source nodes (default all)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.exp_id:
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+
+    ids = list(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
+    # fig03_04 duplicates fig03+fig04; skip it in "all" runs
+    if args.exp_id == "all":
+        ids.remove("fig03_04")
+    for exp_id in ids:
+        fn = get_experiment(exp_id)
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        if args.sources is not None:
+            kwargs["num_sources"] = args.sources
+        accepted = inspect.signature(fn).parameters
+        kwargs = {k: v for k, v in kwargs.items() if k in accepted}
+        t0 = time.time()
+        result = fn(**kwargs)
+        dt = time.time() - t0
+        print(result.render())
+        print(f"[{exp_id} finished in {dt:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

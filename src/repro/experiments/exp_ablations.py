@@ -1,0 +1,331 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+These go beyond the paper's own figures and probe *why* CARD's pieces are
+shaped the way they are:
+
+* ``ablation_pm_eq``   — PM with eq.(1) vs eq.(2): how often does each
+  admit a contact whose neighborhood actually overlaps the source's?
+* ``ablation_overlap`` — EM with the Contact_List / Edge_List checks
+  individually disabled: contribution of each check to non-overlap and
+  reachability;
+* ``ablation_recovery`` — local recovery on/off under mobility: contacts
+  lost per validation round and maintenance traffic;
+* ``ablation_query``   — CARD's directed DSQ vs expanding-ring flooding,
+  and the effect of query dedup;
+* ``ablation_mobility`` — RWP vs random-walk vs Gauss-Markov: contact
+  stability (the paper's footnote conjectures model sensitivity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.params import CARDParams, SelectionMethod
+from repro.core.protocol import CARDProtocol
+from repro.core.query import QueryEngine
+from repro.core.runner import SnapshotRunner, TimeSeriesRunner
+from repro.discovery.expanding_ring import ExpandingRingDiscovery
+from repro.experiments.base import (
+    ExperimentResult,
+    sample_sources,
+    scaled,
+    standard_topology,
+)
+from repro.mobility.gauss_markov import GaussMarkov
+from repro.mobility.walk import RandomWalk
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net.network import Network
+from repro.scenarios.factory import query_workload
+
+__all__ = [
+    "run_ablation_pm_eq",
+    "run_ablation_overlap",
+    "run_ablation_recovery",
+    "run_ablation_query",
+    "run_ablation_mobility",
+]
+
+
+def _overlap_fraction(runner: SnapshotRunner) -> float:
+    """Fraction of selected contacts whose neighborhood overlaps the source's.
+
+    Overlap means true hop distance <= 2R (the geometric condition Fig 1
+    illustrates); EM is designed to drive this to zero.
+    """
+    dist = runner.protocol.tables.distances
+    R2 = 2 * runner.params.R
+    total = 0
+    overlapping = 0
+    for s, table in runner.protocol.contact_tables.items():
+        for c in table:
+            total += 1
+            d = int(dist[s, c.node])
+            if 0 <= d <= R2:
+                overlapping += 1
+    return overlapping / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+def run_ablation_pm_eq(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    R: int = 3,
+    r: int = 20,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """PM eq.(1) vs eq.(2) vs EM: overlap rate, reachability, overhead."""
+    n = scaled(500, scale, minimum=80)
+    topo = standard_topology(num_nodes=n, seed=seed, salt="abl_pm")
+    sources = sample_sources(n, num_sources, seed)
+    rows: List[List[object]] = []
+    raw = {}
+    variants = [
+        ("PM eq.1", CARDParams(R=R, r=r, noc=noc, method=SelectionMethod.PM, pm_equation=1)),
+        ("PM eq.2", CARDParams(R=R, r=r, noc=noc, method=SelectionMethod.PM, pm_equation=2)),
+        ("EM", CARDParams(R=R, r=r, noc=noc, method=SelectionMethod.EM)),
+    ]
+    for label, params in variants:
+        runner = SnapshotRunner(topo, params, seed=seed, sources=sources)
+        result = runner.run()
+        rows.append(
+            [
+                label,
+                round(100 * _overlap_fraction(runner), 2),
+                round(result.mean_reachability, 2),
+                round(result.mean_contacts, 2),
+                round(result.selection_per_node(), 1),
+                round(result.backtracking_per_node(), 1),
+            ]
+        )
+        raw[label] = result
+    return ExperimentResult(
+        exp_id="ablation_pm_eq",
+        title="Ablation — PM admission equation (1) vs (2) vs EM",
+        headers=[
+            "variant",
+            "overlap %",
+            "mean reach %",
+            "mean contacts",
+            "fwd/node",
+            "backtrack/node",
+        ],
+        rows=rows,
+        notes=[
+            "eq.(1) admits inside (R, 2R] → overlapping contacts (Fig 1's "
+            "pathology); eq.(2) shrinks but cannot eliminate overlap (walk "
+            "distance != true distance); EM eliminates it",
+            f"N={n}, R={R}, r={r}, NoC={noc}",
+        ],
+        raw=raw,
+    )
+
+
+def run_ablation_overlap(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    R: int = 3,
+    r: int = 12,
+    noc: int = 6,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """EM overlap checks individually disabled."""
+    n = scaled(500, scale, minimum=80)
+    topo = standard_topology(num_nodes=n, seed=seed, salt="abl_ovl")
+    sources = sample_sources(n, num_sources, seed)
+    rows: List[List[object]] = []
+    variants = [
+        ("full EM", dict(check_contact_overlap=True, check_edge_overlap=True)),
+        ("no edge check", dict(check_contact_overlap=True, check_edge_overlap=False)),
+        ("no contact check", dict(check_contact_overlap=False, check_edge_overlap=True)),
+        ("source check only", dict(check_contact_overlap=False, check_edge_overlap=False)),
+    ]
+    for label, flags in variants:
+        params = CARDParams(R=R, r=r, noc=noc, method=SelectionMethod.EM, **flags)
+        runner = SnapshotRunner(topo, params, seed=seed, sources=sources)
+        result = runner.run()
+        rows.append(
+            [
+                label,
+                round(100 * _overlap_fraction(runner), 2),
+                round(result.mean_reachability, 2),
+                round(result.mean_contacts, 2),
+                round(result.backtracking_per_node(), 1),
+            ]
+        )
+    return ExperimentResult(
+        exp_id="ablation_overlap",
+        title="Ablation — contribution of the EM overlap checks",
+        headers=["variant", "overlap %", "mean reach %", "mean contacts", "backtrack/node"],
+        rows=rows,
+        notes=[
+            "dropping the edge check reintroduces source-contact overlap; "
+            "dropping the contact check lets contacts crowd each other — "
+            "more contacts admitted, less reachability per contact",
+            f"N={n}, R={R}, r={r}, NoC={noc}",
+        ],
+    )
+
+
+def run_ablation_recovery(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    duration: float = 10.0,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Local recovery on vs off under RWP mobility."""
+    n = scaled(250, scale, minimum=60)
+
+    def rwp(positions, area, rng):
+        return RandomWaypoint(
+            positions, area, min_speed=1.0, max_speed=6.0, pause_time=1.0, rng=rng
+        )
+
+    rows: List[List[object]] = []
+    for label, flag in (("recovery ON", True), ("recovery OFF", False)):
+        topo = standard_topology(num_nodes=n, seed=seed, salt="abl_rec")
+        params = CARDParams(R=3, r=12, noc=5, local_recovery=flag)
+        runner = TimeSeriesRunner(
+            topo,
+            params,
+            rwp,
+            duration=duration,
+            seed=seed,
+            sources=sample_sources(n, num_sources, seed),
+        )
+        res = runner.run()
+        rows.append(
+            [
+                label,
+                sum(res.lost_per_bin),
+                round(float(np.mean(res.maintenance)), 2),
+                round(float(np.mean(res.selection)) + float(np.mean(res.backtracking)), 2),
+                round(float(np.mean(res.overhead)), 2),
+                res.total_contacts[-1] if res.total_contacts else 0,
+            ]
+        )
+    return ExperimentResult(
+        exp_id="ablation_recovery",
+        title="Ablation — local recovery during contact validation",
+        headers=[
+            "variant",
+            "contacts lost",
+            "maint/node/bin",
+            "reselect/node/bin",
+            "total ovh/node/bin",
+            "contacts at end",
+        ],
+        rows=rows,
+        notes=[
+            "without local recovery every broken hop kills the contact, "
+            "forcing expensive re-selection — §III.C.3's motivation",
+            f"N={n}, R=3, r=12, NoC=5, {duration:g}s RWP",
+        ],
+    )
+
+
+def run_ablation_query(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    num_queries: int = 40,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """CARD DSQ (dedup on/off) vs expanding-ring search."""
+    n = scaled(500, scale, minimum=80)
+    topo = standard_topology(num_nodes=n, seed=seed, salt="abl_query")
+    workload = query_workload(topo, num_queries, seed=seed, distinct_sources=True)
+    params = CARDParams(R=3, r=12, noc=6, depth=3)
+    net = Network(topo)
+    card = CARDProtocol(net, params, seed=seed)
+    card.bootstrap()
+    rows: List[List[object]] = []
+    for label, dedup in (("CARD DSQ (dedup)", True), ("CARD DSQ (no dedup)", False)):
+        engine = QueryEngine(net, card.tables, params, card.contact_tables, dedup=dedup)
+        msgs = 0
+        succ = 0
+        for s, t in workload:
+            res = engine.query(s, t)
+            msgs += res.msgs
+            succ += int(res.success)
+        rows.append([label, msgs, round(msgs / len(workload), 1), round(100 * succ / len(workload), 1)])
+    ring = ExpandingRingDiscovery(Network(topo))
+    msgs = 0
+    succ = 0
+    for s, t in workload:
+        res = ring.query(s, t)
+        msgs += res.msgs
+        succ += int(res.success)
+    rows.append(["Expanding ring", msgs, round(msgs / len(workload), 1), round(100 * succ / len(workload), 1)])
+    return ExperimentResult(
+        exp_id="ablation_query",
+        title="Ablation — DSQ escalation vs expanding-ring search",
+        headers=["scheme", "total msgs", "msgs/query", "success %"],
+        rows=rows,
+        notes=[
+            "§III.C.4's claim: depth escalation through contacts beats "
+            "TTL-escalated flooding because queries are directed, not flooded",
+            f"N={n}, R=3, r=12, NoC=6, D<=3, {num_queries} queries",
+        ],
+    )
+
+
+def run_ablation_mobility(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    duration: float = 10.0,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Contact stability under three mobility models."""
+    n = scaled(250, scale, minimum=60)
+    factories = {
+        "RWP": lambda p, a, rng: RandomWaypoint(
+            p, a, min_speed=0.5, max_speed=5.0, pause_time=2.0, rng=rng
+        ),
+        "RandomWalk": lambda p, a, rng: RandomWalk(
+            p, a, min_speed=0.5, max_speed=5.0, mean_epoch=5.0, rng=rng
+        ),
+        "GaussMarkov": lambda p, a, rng: GaussMarkov(
+            p, a, alpha=0.85, mean_speed=2.5, sigma=1.0, rng=rng
+        ),
+    }
+    rows: List[List[object]] = []
+    for label, factory in factories.items():
+        topo = standard_topology(num_nodes=n, seed=seed, salt="abl_mob")
+        params = CARDParams(R=3, r=12, noc=5)
+        runner = TimeSeriesRunner(
+            topo,
+            params,
+            factory,
+            duration=duration,
+            seed=seed,
+            sources=sample_sources(n, num_sources, seed),
+        )
+        res = runner.run()
+        rows.append(
+            [
+                label,
+                sum(res.lost_per_bin),
+                round(float(np.mean(res.maintenance)), 2),
+                round(float(np.mean(res.overhead)), 2),
+                res.total_contacts[-1] if res.total_contacts else 0,
+            ]
+        )
+    return ExperimentResult(
+        exp_id="ablation_mobility",
+        title="Ablation — contact stability across mobility models",
+        headers=["model", "contacts lost", "maint/node/bin", "ovh/node/bin", "contacts at end"],
+        rows=rows,
+        notes=[
+            "the paper's §IV.B footnote conjectures mobility-model "
+            "sensitivity; models with higher relative velocities (random "
+            "walk) lose more contacts than momentum-dominated ones",
+            f"N={n}, R=3, r=12, NoC=5, {duration:g}s",
+        ],
+    )

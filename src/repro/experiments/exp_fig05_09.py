@@ -1,0 +1,295 @@
+"""Figs 5-9 — reachability distributions across the CARD parameter space.
+
+All five figures share one template: run contact selection on a static
+topology, compute every node's reachability, and histogram it over 5 %
+bins ("Number of Nodes" vs "Reachability (%)").  The swept knob differs:
+
+* **Fig 5** — neighborhood radius R = 1..7 (r=16, NoC=10, D=1): the
+  distribution shifts right with R until 2R approaches r, then collapses
+  back (no room left for contacts);
+* **Fig 6** — max contact distance r = 2R..2R+12 (R=3, NoC=10): rises
+  with r, with diminishing returns past r ≈ 2R+8;
+* **Fig 7** — NoC = 0..12 (R=3, r=10): rises then saturates around NoC=6
+  (neighborhood-overlap saturation);
+* **Fig 8** — depth of search D = 1..3 (R=3, r=10, NoC=10): sharp rise
+  with D (tree of contacts);
+* **Fig 9** — three density-matched network sizes with per-size tuned
+  (R, r, NoC), showing CARD can be configured to keep the distribution
+  concentrated at high reachability for any size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.params import CARDParams
+from repro.core.reachability import DIST_BIN_EDGES
+from repro.core.runner import SnapshotRunner
+from repro.experiments.base import (
+    ExperimentResult,
+    sample_sources,
+    scaled,
+    standard_topology,
+)
+from repro.net.topology import Topology
+from repro.scenarios.factory import FIG9_CONFIGS, build_topology
+from repro.util.ascii_plot import ascii_histogram
+
+__all__ = ["run_fig05", "run_fig06", "run_fig07", "run_fig08", "run_fig09"]
+
+
+def _distribution_table(
+    columns: Dict[str, np.ndarray],
+    means: Dict[str, float],
+    *,
+    exp_id: str,
+    title: str,
+    notes: List[str],
+    plot_key: Optional[str] = None,
+) -> ExperimentResult:
+    """Assemble the bins × sweep-values table shared by Figs 5-9."""
+    headers = ["Reach% bin"] + list(columns)
+    rows: List[List[object]] = []
+    for b, edge in enumerate(DIST_BIN_EDGES):
+        rows.append([int(edge)] + [int(columns[c][b]) for c in columns])
+    rows.append(["mean%"] + [round(means[c], 2) for c in columns])
+    plots = []
+    if plot_key is not None and plot_key in columns:
+        plots.append(
+            ascii_histogram(
+                [int(e) for e in DIST_BIN_EDGES],
+                columns[plot_key].tolist(),
+                title=f"{title} — distribution at {plot_key}",
+            )
+        )
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        plots=plots,
+        raw={"columns": columns, "means": means},
+    )
+
+
+def _sweep_distributions(
+    topo: Topology,
+    param_list: Sequence[Tuple[str, CARDParams]],
+    *,
+    seed: Optional[int],
+    num_sources: Optional[int],
+    depth_override: Optional[Dict[str, int]] = None,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, float]]:
+    """Run one snapshot per labeled parameter set; return histograms+means."""
+    sources = sample_sources(topo.num_nodes, num_sources, seed)
+    columns: Dict[str, np.ndarray] = {}
+    means: Dict[str, float] = {}
+    for label, params in param_list:
+        runner = SnapshotRunner(topo, params, seed=seed, sources=sources)
+        result = runner.run()
+        columns[label] = result.distribution
+        means[label] = result.mean_reachability
+    return columns, means
+
+
+# ----------------------------------------------------------------------
+def run_fig05(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    r: int = 16,
+    noc: int = 10,
+    radii: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 5 — effect of neighborhood radius R on reachability."""
+    n = scaled(500, scale, minimum=80)
+    topo = standard_topology(num_nodes=n, seed=seed, salt="fig05")
+    params = [
+        (f"R={R}", CARDParams(R=R, r=r, noc=noc, depth=1)) for R in radii if 2 * R <= r
+    ]
+    skipped = [R for R in radii if 2 * R > r]
+    columns, means = _sweep_distributions(
+        topo, params, seed=seed, num_sources=num_sources
+    )
+    notes = [
+        "paper: distribution shifts right as R grows, then collapses once "
+        "2R approaches r (contact region vanishes)",
+        f"N={n}, r={r}, NoC={noc}, D=1",
+    ]
+    if skipped:
+        notes.append(f"radii {skipped} violate r>=2R and are not runnable")
+    return _distribution_table(
+        columns,
+        means,
+        exp_id="fig05",
+        title="Fig 5 — Effect of Neighborhood Radius (R) on Reachability",
+        notes=notes,
+        plot_key=params[-1][0] if params else None,
+    )
+
+
+def run_fig06(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    R: int = 3,
+    noc: int = 10,
+    deltas: Sequence[int] = (0, 2, 4, 6, 8, 10, 12),
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 6 — effect of maximum contact distance r on reachability."""
+    n = scaled(500, scale, minimum=80)
+    topo = standard_topology(num_nodes=n, seed=seed, salt="fig06")
+    params = [
+        (f"r=2R+{d}" if d else "r=2R", CARDParams(R=R, r=2 * R + d, noc=noc, depth=1))
+        for d in deltas
+    ]
+    columns, means = _sweep_distributions(
+        topo, params, seed=seed, num_sources=num_sources
+    )
+    notes = [
+        "paper: reachability grows with r, with little further gain beyond "
+        "r = 2R+8 (non-overlapping contacts are equivalent wherever they sit)",
+        f"N={n}, R={R}, NoC={noc}, D=1",
+    ]
+    return _distribution_table(
+        columns,
+        means,
+        exp_id="fig06",
+        title="Fig 6 — Effect of Maximum Contact Distance (r) on Reachability",
+        notes=notes,
+        plot_key=params[-1][0],
+    )
+
+
+def run_fig07(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    R: int = 3,
+    r: int = 10,
+    noc_values: Sequence[int] = (0, 2, 4, 6, 8, 10, 12),
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 7 — effect of NoC on reachability (single max-NoC run + prefixes)."""
+    n = scaled(500, scale, minimum=80)
+    topo = standard_topology(num_nodes=n, seed=seed, salt="fig07")
+    sources = sample_sources(n, num_sources, seed)
+    max_noc = max(noc_values)
+    runner = SnapshotRunner(
+        topo, CARDParams(R=R, r=r, noc=max_noc, depth=1), seed=seed, sources=sources
+    )
+    runner.run()
+    columns: Dict[str, np.ndarray] = {}
+    means: Dict[str, float] = {}
+    from repro.core.reachability import (
+        reachability_distribution,
+    )
+
+    for k in noc_values:
+        reach = runner.protocol.reachability(
+            runner.sources, max_contacts=int(k) if k > 0 else 0
+        )
+        columns[f"NoC={k}"] = reachability_distribution(reach)
+        means[f"NoC={k}"] = float(reach.mean())
+    notes = [
+        "paper: sharp initial rise, saturation beyond NoC≈6 — the achieved "
+        "contact count is overlap-limited",
+        f"N={n}, R={R}, r={r}, D=1; NoC sweep from one NoC={max_noc} run "
+        "(sequential-selection prefixes)",
+    ]
+    return _distribution_table(
+        columns,
+        means,
+        exp_id="fig07",
+        title="Fig 7 — Effect of Number of Contacts (NoC) on Reachability",
+        notes=notes,
+        plot_key=f"NoC={max_noc}",
+    )
+
+
+def run_fig08(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    R: int = 3,
+    r: int = 10,
+    noc: int = 10,
+    depths: Sequence[int] = (1, 2, 3),
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 8 — effect of depth of search D (one bootstrap, three depths).
+
+    Depth-D reachability follows contacts of contacts, so *all* nodes run
+    selection regardless of the measured source sample.
+    """
+    n = scaled(500, scale, minimum=80)
+    topo = standard_topology(num_nodes=n, seed=seed, salt="fig08")
+    runner = SnapshotRunner(
+        topo, CARDParams(R=R, r=r, noc=noc, depth=1), seed=seed, sources=None
+    )
+    runner.run()
+    measured = sample_sources(n, num_sources, seed)
+    from repro.core.reachability import reachability_distribution
+
+    columns: Dict[str, np.ndarray] = {}
+    means: Dict[str, float] = {}
+    for d in depths:
+        reach = runner.protocol.reachability(measured, depth=int(d))
+        columns[f"D={d}"] = reachability_distribution(reach)
+        means[f"D={d}"] = float(reach.mean())
+    notes = [
+        "paper: reachability rises sharply with D — contacts form a tree, "
+        "making CARD scalable",
+        f"N={n}, R={R}, r={r}, NoC={noc}",
+    ]
+    return _distribution_table(
+        columns,
+        means,
+        exp_id="fig08",
+        title="Fig 8 — Effect of Depth of Search (D) on Reachability",
+        notes=notes,
+        plot_key=f"D={max(depths)}",
+    )
+
+
+def run_fig09(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 9 — reachability distributions for three density-matched sizes."""
+    columns: Dict[str, np.ndarray] = {}
+    means: Dict[str, float] = {}
+    for cfg in FIG9_CONFIGS:
+        n = scaled(cfg.num_nodes, scale, minimum=60)
+        side = cfg.area[0] * np.sqrt(n / cfg.num_nodes) if n != cfg.num_nodes else cfg.area[0]
+        topo = build_topology(
+            n, (side, side), 50.0, seed=seed, salt=("fig09", cfg.num_nodes)
+        )
+        params = CARDParams(R=cfg.R, r=cfg.r, noc=cfg.noc, depth=1)
+        sources = sample_sources(n, num_sources, seed)
+        runner = SnapshotRunner(topo, params, seed=seed, sources=sources)
+        result = runner.run()
+        label = f"N={cfg.num_nodes}"
+        columns[label] = result.distribution
+        means[label] = result.mean_reachability
+    notes = [
+        "paper: with per-size (R, r, NoC) tuning, every size achieves a "
+        "distribution concentrated at high reachability",
+        "density held constant across sizes (area scales with N)",
+        "configs: " + "; ".join(c.label for c in FIG9_CONFIGS),
+    ]
+    return _distribution_table(
+        columns,
+        means,
+        exp_id="fig09",
+        title="Fig 9 — Reachability for different network sizes",
+        notes=notes,
+        plot_key=f"N={FIG9_CONFIGS[-1].num_nodes}",
+    )

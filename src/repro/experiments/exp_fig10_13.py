@@ -1,0 +1,298 @@
+"""Figs 10-13 — maintenance overhead over time under random-waypoint mobility.
+
+These experiments run the full event-driven stack: RWP mobility rebuilds
+connectivity every ``mobility_step``; each source validates its contacts
+every ``validation_period`` (2 s, jittered), repairing routes with local
+recovery and re-selecting lost contacts; every control message is binned
+into 2-second windows.
+
+* **Fig 10** — overhead/node per window for NoC ∈ {3,4,5,7} (R=3, r=10):
+  more contacts → more validation walks → more overhead;
+* **Fig 11** — the same for r ∈ {8,9,10,12,15} (NoC=5): total overhead
+  *falls* with r, because…
+* **Fig 12** — …the backtracking component of re-selection collapses when
+  the contact band (2R, r] is wide (the paper's key counter-intuitive
+  result);
+* **Fig 13** — a 20 s run at N=250 (NoC=6, R=4, r=16) showing maintenance
+  overhead decaying over time while the total number of held contacts
+  creeps up: sources gradually settle on *stable* contacts (low relative
+  velocity), so fewer validations fail.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.params import CARDParams
+from repro.core.runner import TimeSeriesResult, TimeSeriesRunner
+from repro.experiments.base import (
+    ExperimentResult,
+    sample_sources,
+    scaled,
+    standard_topology,
+)
+from repro.mobility.waypoint import RandomWaypoint
+from repro.util.ascii_plot import ascii_series
+
+__all__ = ["run_fig10", "run_fig11", "run_fig12", "run_fig13"]
+
+#: mobility defaults for the overhead experiments (Figs 10-12): moderate
+#: pedestrian-to-vehicle speeds with short pauses.  The paper does not
+#: print its setdest parameters; this regime keeps churn low enough that
+#: re-selection cost is governed by the admission-region geometry (the
+#: effect Figs 11/12 isolate) rather than by raw path breakage.
+DEFAULT_SPEED = (0.5, 5.0)
+DEFAULT_PAUSE = 2.0
+#: Fig 13's stability study instead uses the classic heterogeneous-speed
+#: RWP (min speed 0): the slow tail of the speed distribution supplies the
+#: "stable contacts" whose accumulation decays maintenance overhead — the
+#: paper's own footnote credits the RWP model for exactly this effect.
+FIG13_SPEED = (0.0, 10.0)
+
+
+def _rwp_factory(min_speed: float, max_speed: float, pause: float):
+    def factory(positions, area, rng):
+        return RandomWaypoint(
+            positions,
+            area,
+            min_speed=min_speed,
+            max_speed=max_speed,
+            pause_time=pause,
+            rng=rng,
+        )
+
+    return factory
+
+
+def _run_series(
+    params: CARDParams,
+    *,
+    num_nodes: int,
+    duration: float,
+    seed: Optional[int],
+    num_sources: Optional[int],
+    salt: object,
+    speed=DEFAULT_SPEED,
+    pause: float = DEFAULT_PAUSE,
+) -> TimeSeriesResult:
+    topo = standard_topology(num_nodes=num_nodes, seed=seed, salt=salt)
+    sources = sample_sources(num_nodes, num_sources, seed)
+    runner = TimeSeriesRunner(
+        topo,
+        params,
+        _rwp_factory(speed[0], speed[1], pause),
+        duration=duration,
+        seed=seed,
+        sources=sources,
+    )
+    return runner.run()
+
+
+def _series_table(
+    series_by_label: Dict[str, TimeSeriesResult],
+    value_of,
+    *,
+    exp_id: str,
+    title: str,
+    ylabel: str,
+    notes: List[str],
+) -> ExperimentResult:
+    labels = list(series_by_label)
+    first = series_by_label[labels[0]]
+    headers = ["t (s)"] + labels
+    rows: List[List[object]] = []
+    for i, t in enumerate(first.times):
+        rows.append(
+            [t] + [round(value_of(series_by_label[l])[i], 2) for l in labels]
+        )
+    plot = ascii_series(
+        {l: value_of(series_by_label[l]) for l in labels},
+        first.times,
+        title=f"{title} — {ylabel}",
+    )
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        plots=[plot],
+        raw={l: series_by_label[l] for l in labels},
+    )
+
+
+# ----------------------------------------------------------------------
+def run_fig10(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    noc_values: Sequence[int] = (3, 4, 5, 7),
+    duration: float = 10.0,
+    R: int = 3,
+    r: int = 10,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 10 — overhead per node over time, varying NoC."""
+    n = scaled(500, scale, minimum=80)
+    series = {
+        f"NoC={k}": _run_series(
+            CARDParams(R=R, r=r, noc=int(k)),
+            num_nodes=n,
+            duration=duration,
+            seed=seed,
+            num_sources=num_sources,
+            salt=("fig10", k),
+        )
+        for k in noc_values
+    }
+    return _series_table(
+        series,
+        lambda res: res.overhead,
+        exp_id="fig10",
+        title="Fig 10 — Effect of Number of Contacts (NoC) on Overhead",
+        ylabel="control msgs / node / 2s window",
+        notes=[
+            "paper: overhead rises sharply with NoC (more contacts to validate)",
+            f"N={n}, R={R}, r={r}, D=1, RWP speeds {DEFAULT_SPEED} m/s, "
+            f"pause {DEFAULT_PAUSE}s",
+        ],
+    )
+
+
+def run_fig11(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    r_values: Sequence[int] = (8, 9, 10, 12, 15),
+    duration: float = 10.0,
+    R: int = 3,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 11 — total overhead per node over time, varying r."""
+    n = scaled(500, scale, minimum=80)
+    series = {
+        f"r={rv}": _run_series(
+            CARDParams(R=R, r=int(rv), noc=noc),
+            num_nodes=n,
+            duration=duration,
+            seed=seed,
+            num_sources=num_sources,
+            salt=("fig11", rv),
+        )
+        for rv in r_values
+    }
+    result = _series_table(
+        series,
+        lambda res: res.overhead,
+        exp_id="fig11",
+        title="Fig 11 — Effect of Maximum Contact Distance (r) on Total Overhead",
+        ylabel="control msgs / node / 2s window",
+        notes=[
+            "paper: total overhead *decreases* with r — wider contact band "
+            "slashes re-selection backtracking (see Fig 12)",
+            f"N={n}, R={R}, NoC={noc}, D=1",
+        ],
+    )
+    return result
+
+
+def run_fig12(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    r_values: Sequence[int] = (8, 9, 10, 12, 15),
+    duration: float = 10.0,
+    R: int = 3,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 12 — backtracking component of the Fig 11 runs."""
+    n = scaled(500, scale, minimum=80)
+    series = {
+        f"r={rv}": _run_series(
+            CARDParams(R=R, r=int(rv), noc=noc),
+            num_nodes=n,
+            duration=duration,
+            seed=seed,
+            num_sources=num_sources,
+            salt=("fig11", rv),  # same runs as Fig 11 by construction
+        )
+        for rv in r_values
+    }
+    return _series_table(
+        series,
+        lambda res: res.backtracking,
+        exp_id="fig12",
+        title="Fig 12 — Effect of Maximum Contact Distance (r) on Backtracking",
+        ylabel="backtracking msgs / node / 2s window",
+        notes=[
+            "paper: backtracking overhead drops sharply as r grows — the "
+            "driver behind Fig 11's total-overhead decrease",
+            f"N={n}, R={R}, NoC={noc}, D=1",
+        ],
+    )
+
+
+def run_fig13(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    duration: float = 20.0,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 13 — maintenance overhead and total contacts over 20 seconds.
+
+    The paper's R=4, r=16 assume the full N=250 diameter; scaled-down CI
+    runs shrink the network's hop diameter by ~sqrt(scale), so the hop
+    parameters shrink with it (otherwise the (2R, r] band falls off the
+    edge of the network and no contacts can exist at all).
+    """
+    n = scaled(250, scale, minimum=60)
+    hop_factor = float(np.sqrt(n / 250.0))
+    R = max(2, int(round(4 * hop_factor)))
+    r = max(2 * R + 2, int(round(16 * hop_factor)))
+    res = _run_series(
+        CARDParams(R=R, r=r, noc=6),
+        num_nodes=n,
+        duration=duration,
+        seed=seed,
+        num_sources=num_sources,
+        salt="fig13",
+        speed=FIG13_SPEED,
+    )
+    headers = ["t (s)", "Maintenance/node", "Total contacts", "Lost this bin"]
+    rows: List[List[object]] = []
+    for i, t in enumerate(res.times):
+        rows.append(
+            [
+                t,
+                round(res.maintenance[i], 2),
+                res.total_contacts[i],
+                res.lost_per_bin[i],
+            ]
+        )
+    plot = ascii_series(
+        {
+            "maintenance/node": res.maintenance,
+            "contacts/10": [c / 10.0 for c in res.total_contacts],
+        },
+        res.times,
+        title="Fig 13 — maintenance decays while contacts stabilise",
+    )
+    return ExperimentResult(
+        exp_id="fig13",
+        title="Fig 13 — Variation of overhead with time (N=250, NoC=6, R=4, r=16)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper: maintenance overhead decreases steadily over time while "
+            "held contacts rise slightly — sources settle on stable contacts",
+            f"N={n}, R={R}, r={r}, RWP speeds {FIG13_SPEED} m/s (min 0: the "
+            f"slow tail provides the stable contacts), pause {DEFAULT_PAUSE}s",
+        ],
+        plots=[plot],
+        raw={"series": res},
+    )

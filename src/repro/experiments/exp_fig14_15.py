@@ -1,0 +1,222 @@
+"""Fig 14 (reachability/overhead trade-off) and Fig 15 (scheme comparison).
+
+**Fig 14** normalizes mean reachability and total contact overhead
+(selection + backtracking + one maintenance cycle) against NoC to exhibit
+the paper's "desirable region": reachability saturates around NoC≈6 while
+overhead keeps climbing, so a moderate NoC buys most of the reachability
+at a fraction of the cost.
+
+**Fig 15** compares CARD querying against flooding and bordercasting
+(QD1+QD2) on three network sizes, using the same 50-source × 50-target
+random workload for every scheme.  The paper reports CARD's traffic far
+below both baselines, with a 95 % success rate at D=3 (the blind schemes
+trivially reach 100 % within a connected component); the separate "CARD
+Overhead" bar is the standing cost of building and maintaining contacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.params import CARDParams
+from repro.core.protocol import CARDProtocol
+from repro.core.runner import SnapshotRunner
+from repro.discovery.base import CARDDiscoveryAdapter
+from repro.discovery.bordercast import BordercastDiscovery, QDMode
+from repro.discovery.flooding import FloodingDiscovery
+from repro.experiments.base import (
+    ExperimentResult,
+    sample_sources,
+    scaled,
+    standard_topology,
+)
+from repro.metrics.comparison import SchemeComparison
+from repro.metrics.summary import fraction_above, normalized_tradeoff
+from repro.net.network import Network
+from repro.routing.neighborhood import NeighborhoodTables
+from repro.scenarios.factory import FIG15_CONFIGS, build_topology, query_workload
+from repro.util.ascii_plot import ascii_series
+
+__all__ = ["run_fig14", "run_fig15"]
+
+
+# ----------------------------------------------------------------------
+def run_fig14(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    R: int = 3,
+    r: int = 10,
+    max_noc: int = 10,
+    validation_rounds: int = 5,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 14 — normalized reachability vs contact overhead against NoC.
+
+    Overhead(k) = cumulative selection+backtracking messages needed for the
+    first k contacts, plus ``validation_rounds`` validation cycles along
+    their stored routes (each cycle costs one message per path hop) — the
+    same selection+maintenance aggregate the paper's §IV.B totals.
+    """
+    n = scaled(500, scale, minimum=80)
+    topo = standard_topology(num_nodes=n, seed=seed, salt="fig14")
+    sources = sample_sources(n, num_sources, seed)
+    runner = SnapshotRunner(
+        topo, CARDParams(R=R, r=r, noc=max_noc, depth=1), seed=seed, sources=sources
+    )
+    result = runner.run()
+    noc_values = list(range(0, max_noc + 1))
+    sweep = runner.sweep_noc(result, noc_values)
+    # per-source maintenance cost for the first k contacts
+    overhead: List[float] = []
+    reach: List[float] = []
+    frac50: List[float] = []
+    for (k, mean_reach, fwd, back) in sweep:
+        maint = []
+        for s in runner.sources:
+            table = runner.protocol.contact_tables[s]
+            hops = sum(c.path_hops for c in list(table)[: k or 0])
+            maint.append(validation_rounds * hops)
+        overhead.append(fwd + back + float(np.mean(maint) if maint else 0.0))
+        reach.append(mean_reach)
+        pr = runner.protocol.reachability(
+            runner.sources, max_contacts=k if k > 0 else 0
+        )
+        frac50.append(fraction_above(pr, 50.0))
+    rows_norm = normalized_tradeoff(noc_values, reach, overhead)
+    headers = ["NoC", "Reach (norm)", "Overhead (norm)", "Reach %", "Ovh msgs/node", ">=50% frac"]
+    rows: List[List[object]] = []
+    for i, (k, rn, on) in enumerate(rows_norm):
+        rows.append(
+            [k, round(rn, 3), round(on, 3), round(reach[i], 2), round(overhead[i], 1), round(frac50[i], 3)]
+        )
+    plot = ascii_series(
+        {
+            "reachability": [row[1] for row in rows_norm],
+            "overhead": [row[2] for row in rows_norm],
+        },
+        noc_values,
+        title="Fig 14 — normalized reachability vs overhead",
+    )
+    return ExperimentResult(
+        exp_id="fig14",
+        title="Fig 14 — Trade-off between reachability and contact overhead",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper: a desirable region exists where reachability >= 50 % at "
+            "moderate overhead (reachability saturates, overhead keeps rising)",
+            f"N={n}, R={R}, r={r}, D=1; maintenance term = "
+            f"{validation_rounds} validation cycles over stored routes",
+        ],
+        plots=[plot],
+        raw={"noc": noc_values, "reach": reach, "overhead": overhead},
+    )
+
+
+# ----------------------------------------------------------------------
+def run_fig15(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    num_queries: int = 50,
+    depth: int = 3,
+    num_sizes: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Fig 15 — CARD vs flooding vs bordercasting querying traffic.
+
+    Per network size: one topology (density-matched Fig 9 configuration,
+    whose tuned R also serves as the ZRP zone radius), one random workload,
+    three schemes.  Reported: total querying traffic over the workload,
+    messages per query, success rate, and CARD's standing overhead.
+    """
+    sizes = list(num_sizes) if num_sizes is not None else [c.num_nodes for c in FIG15_CONFIGS]
+    headers = [
+        "N",
+        "Flood msgs",
+        "Border msgs",
+        "CARD msgs",
+        "Flood events",
+        "Border events",
+        "CARD events",
+        "CARD overhead",
+        "Flood succ%",
+        "Border succ%",
+        "CARD succ%",
+    ]
+    rows: List[List[object]] = []
+    raw: Dict[str, object] = {}
+    series: Dict[str, List[float]] = {"Flooding": [], "Bordercasting": [], "CARD": []}
+    for cfg in FIG15_CONFIGS:
+        if cfg.num_nodes not in sizes:
+            continue
+        n = scaled(cfg.num_nodes, scale, minimum=60)
+        side = cfg.area[0] * float(np.sqrt(n / cfg.num_nodes)) if n != cfg.num_nodes else cfg.area[0]
+        topo = build_topology(
+            n, (side, side), 50.0, seed=seed, salt=("fig15", cfg.num_nodes)
+        )
+        workload = query_workload(topo, num_queries, seed=seed, distinct_sources=True)
+        tables = NeighborhoodTables(topo, cfg.R)
+        params = CARDParams(R=cfg.R, r=cfg.r, noc=cfg.noc, depth=depth)
+
+        flood_net = Network(topo)
+        border_net = Network(topo)
+        card_net = Network(topo)
+        card = CARDProtocol(card_net, params, seed=seed, tables=NeighborhoodTables(topo, cfg.R))
+        comparison = SchemeComparison(
+            [
+                FloodingDiscovery(flood_net),
+                BordercastDiscovery(border_net, tables, qd=QDMode.QD2),
+                CARDDiscoveryAdapter(card, max_depth=depth),
+            ]
+        )
+        result_rows = comparison.run(workload)
+        by_name = {row.scheme: row for row in result_rows}
+        flood, border, card_row = (
+            by_name["Flooding"],
+            by_name["Bordercasting"],
+            by_name["CARD"],
+        )
+        rows.append(
+            [
+                cfg.num_nodes if scale == 1.0 else n,
+                flood.query_msgs,
+                border.query_msgs,
+                card_row.query_msgs,
+                flood.query_events,
+                border.query_events,
+                card_row.query_events,
+                card_row.prepare_msgs,
+                round(100 * flood.success_rate, 1),
+                round(100 * border.success_rate, 1),
+                round(100 * card_row.success_rate, 1),
+            ]
+        )
+        for name in series:
+            series[name].append(float(by_name[name].query_events))
+        raw[f"N={cfg.num_nodes}"] = result_rows
+    plot = ascii_series(
+        series,
+        [row[0] for row in rows],
+        title="Fig 15 — querying traffic vs network size",
+    )
+    return ExperimentResult(
+        exp_id="fig15",
+        title="Fig 15 — Comparison of CARD with flooding and bordercasting",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper: CARD's querying traffic is far below bordercasting and "
+            "flooding; CARD succeeds ~95 % at D=3, the blind schemes ~100 %",
+            f"workload: {num_queries} random (source, target) pairs per size; "
+            "msgs = transmissions (the paper's §III.B control-message count), "
+            "events = tx+rx on the broadcast medium (flood/bordercast "
+            "transmissions are heard by ~node-degree radios, CARD's unicast "
+            "DSQ hops by one) — the NS-2-style metric behind the paper's gap",
+            "bordercasting uses QD1+QD2; zone radius equals CARD's R per size",
+        ],
+        plots=[plot],
+        raw=raw,
+    )

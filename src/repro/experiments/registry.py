@@ -1,0 +1,78 @@
+"""Experiment registry: id → runner function."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.exp_ablations import (
+    run_ablation_mobility,
+    run_ablation_overlap,
+    run_ablation_pm_eq,
+    run_ablation_query,
+    run_ablation_recovery,
+)
+from repro.experiments.exp_fig03_04 import run_fig03, run_fig03_04, run_fig04
+from repro.experiments.exp_fig05_09 import (
+    run_fig05,
+    run_fig06,
+    run_fig07,
+    run_fig08,
+    run_fig09,
+)
+from repro.experiments.exp_fig10_13 import (
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+)
+from repro.experiments.exp_extensions import (
+    run_ablation_edge_policy,
+    run_ablation_failures,
+    run_smallworld,
+)
+from repro.experiments.exp_fig14_15 import run_fig14, run_fig15
+from repro.experiments.exp_table1 import run_table1
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+#: All reproducible artifacts (the paper's, then our ablations).
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "fig03": run_fig03,
+    "fig04": run_fig04,
+    "fig03_04": run_fig03_04,
+    "fig05": run_fig05,
+    "fig06": run_fig06,
+    "fig07": run_fig07,
+    "fig08": run_fig08,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "ablation_pm_eq": run_ablation_pm_eq,
+    "ablation_overlap": run_ablation_overlap,
+    "ablation_recovery": run_ablation_recovery,
+    "ablation_query": run_ablation_query,
+    "ablation_mobility": run_ablation_mobility,
+    "ablation_failures": run_ablation_failures,
+    "ablation_edge_policy": run_ablation_edge_policy,
+    "smallworld": run_smallworld,
+}
+
+
+def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
+    """Look an experiment up by id, with a helpful error."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(exp_id)(**kwargs)

@@ -1,0 +1,27 @@
+"""Measurement helpers shared by experiments and benchmarks.
+
+* :mod:`repro.metrics.comparison` — run one query workload through several
+  :class:`~repro.discovery.base.DiscoveryScheme` instances and tabulate
+  traffic + success rate (the Fig 15 harness);
+* :mod:`repro.metrics.summary` — scalar summaries of reachability arrays
+  and the normalized trade-off curves of Fig 14.
+
+The raw counters themselves live with the substrate
+(:class:`repro.net.stats.MessageStats`) and the reachability metric with
+the core (:mod:`repro.core.reachability`); this package only aggregates.
+"""
+
+from repro.metrics.comparison import SchemeComparison, ComparisonRow
+from repro.metrics.summary import (
+    reachability_summary,
+    normalized_tradeoff,
+    fraction_above,
+)
+
+__all__ = [
+    "SchemeComparison",
+    "ComparisonRow",
+    "reachability_summary",
+    "normalized_tradeoff",
+    "fraction_above",
+]

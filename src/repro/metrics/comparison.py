@@ -1,0 +1,85 @@
+"""Scheme-vs-scheme query comparison (the Fig 15 harness).
+
+Feeds an identical (source, target) workload to every scheme and collects:
+
+* **querying traffic** — total forward control messages over the workload
+  (Fig 15's y-axis, "average traffic generated for querying 50 randomly
+  selected destinations from 50 random sources");
+* **success rate** — fraction of queries answered (the paper reports 100 %
+  for flooding/bordercasting and 95 % for CARD at D=3);
+* **preparation overhead** — standing-state cost (CARD's contact selection
+  and maintenance; zero for the blind schemes), shown in the paper as the
+  separate "CARD Overhead" bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.discovery.base import DiscoveryResult, DiscoveryScheme
+
+__all__ = ["ComparisonRow", "SchemeComparison"]
+
+
+@dataclass
+class ComparisonRow:
+    """Aggregated results for one scheme over one workload."""
+
+    scheme: str
+    queries: int
+    successes: int
+    #: total forward query messages over the whole workload
+    query_msgs: int
+    #: standing-state construction cost (0 for blind schemes)
+    prepare_msgs: int
+    #: total radio events (tx + rx); broadcast schemes pay ~degree rx per tx
+    query_events: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.queries if self.queries else 0.0
+
+    @property
+    def msgs_per_query(self) -> float:
+        return self.query_msgs / self.queries if self.queries else 0.0
+
+    @property
+    def events_per_query(self) -> float:
+        return self.query_events / self.queries if self.queries else 0.0
+
+
+class SchemeComparison:
+    """Run a workload through a list of schemes and tabulate the outcome."""
+
+    def __init__(self, schemes: Sequence[DiscoveryScheme]) -> None:
+        if not schemes:
+            raise ValueError("need at least one scheme")
+        self.schemes = list(schemes)
+
+    def run(
+        self, workload: Sequence[Tuple[int, int]]
+    ) -> List[ComparisonRow]:
+        """Execute every query of ``workload`` on every scheme."""
+        rows: List[ComparisonRow] = []
+        for scheme in self.schemes:
+            prep = scheme.prepare()
+            successes = 0
+            msgs = 0
+            events = 0
+            for source, target in workload:
+                res: DiscoveryResult = scheme.query(int(source), int(target))
+                successes += int(res.success)
+                msgs += res.msgs
+                events += res.radio_events
+            rows.append(
+                ComparisonRow(
+                    scheme=scheme.name,
+                    queries=len(workload),
+                    successes=successes,
+                    query_msgs=msgs,
+                    prepare_msgs=prep,
+                    query_events=events,
+                )
+            )
+        return rows

@@ -1,0 +1,57 @@
+"""Scalar summaries and the Fig 14 trade-off normalization."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["reachability_summary", "normalized_tradeoff", "fraction_above"]
+
+
+def reachability_summary(percents: np.ndarray) -> Dict[str, float]:
+    """Mean / median / quartiles of a reachability array (percent)."""
+    p = np.asarray(percents, dtype=np.float64)
+    if p.size == 0:
+        return {"mean": 0.0, "median": 0.0, "p25": 0.0, "p75": 0.0, "max": 0.0}
+    return {
+        "mean": float(p.mean()),
+        "median": float(np.median(p)),
+        "p25": float(np.percentile(p, 25)),
+        "p75": float(np.percentile(p, 75)),
+        "max": float(p.max()),
+    }
+
+
+def fraction_above(percents: np.ndarray, threshold: float) -> float:
+    """Fraction of nodes whose reachability exceeds ``threshold`` percent.
+
+    Fig 14's "desirable region" is defined by reachability ≥ 50 %.
+    """
+    p = np.asarray(percents, dtype=np.float64)
+    if p.size == 0:
+        return 0.0
+    return float((p >= threshold).mean())
+
+
+def normalized_tradeoff(
+    noc_values: Sequence[int],
+    reachability: Sequence[float],
+    overhead: Sequence[float],
+) -> List[Tuple[int, float, float]]:
+    """Normalize both curves to their maxima, as Fig 14 plots them.
+
+    Returns rows ``(noc, reachability_norm, overhead_norm)`` with each
+    series scaled into [0, 1] by its own maximum (a flat-zero series stays
+    zero rather than dividing by zero).
+    """
+    if not (len(noc_values) == len(reachability) == len(overhead)):
+        raise ValueError("all sequences must have equal length")
+    r = np.asarray(reachability, dtype=np.float64)
+    o = np.asarray(overhead, dtype=np.float64)
+    r_peak = r.max() if r.size and r.max() > 0 else 1.0
+    o_peak = o.max() if o.size and o.max() > 0 else 1.0
+    return [
+        (int(k), float(rv / r_peak), float(ov / o_peak))
+        for k, rv, ov in zip(noc_values, r, o)
+    ]

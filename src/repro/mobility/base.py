@@ -1,0 +1,97 @@
+"""Mobility model interface and the DES driver that applies it.
+
+Separation of concerns: a :class:`MobilityModel` is pure kinematics (state +
+``step(dt)`` → new positions); the :class:`MobilityDriver` is the glue that
+periodically steps the model inside a simulation, pushes positions into the
+:class:`~repro.net.topology.Topology`, and notifies listeners (e.g. the
+neighborhood tables) that connectivity changed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.des.engine import Simulator
+from repro.des.process import PeriodicProcess
+from repro.net.topology import Topology
+from repro.util.validation import check_positive
+
+__all__ = ["MobilityModel", "MobilityDriver"]
+
+
+class MobilityModel(abc.ABC):
+    """Kinematic state of ``N`` nodes inside a rectangular area."""
+
+    def __init__(self, positions: np.ndarray, area: tuple) -> None:
+        positions = np.array(positions, dtype=np.float64, copy=True)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError("positions must have shape (N, 2)")
+        self.positions = positions
+        self.area = (float(area[0]), float(area[1]))
+
+    @property
+    def num_nodes(self) -> int:
+        return self.positions.shape[0]
+
+    @abc.abstractmethod
+    def step(self, dt: float) -> np.ndarray:
+        """Advance all nodes by ``dt`` seconds; return the position array.
+
+        Implementations must keep every node inside ``[0, w] × [0, h]`` and
+        must be vectorized over nodes.
+        """
+
+    def _clip(self) -> None:
+        np.clip(self.positions[:, 0], 0.0, self.area[0], out=self.positions[:, 0])
+        np.clip(self.positions[:, 1], 0.0, self.area[1], out=self.positions[:, 1])
+
+
+class MobilityDriver:
+    """Periodically applies a mobility model to a topology inside a DES run.
+
+    Parameters
+    ----------
+    sim, topology, model:
+        The simulation, the connectivity it should mutate, and the
+        kinematics to apply.  The model's node count must match.
+    step_interval:
+        Seconds of simulated time between topology updates.  The paper's
+        metrics are sampled every 2 s; we default to 0.5 s so link changes
+        between validation rounds are resolved.
+    on_update:
+        Callbacks invoked after each topology update (e.g. refresh
+        neighborhood tables).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        model: MobilityModel,
+        step_interval: float = 0.5,
+        on_update: Optional[List[Callable[[], None]]] = None,
+    ) -> None:
+        check_positive("step_interval", step_interval)
+        if model.num_nodes != topology.num_nodes:
+            raise ValueError("model and topology node counts differ")
+        self.sim = sim
+        self.topology = topology
+        self.model = model
+        self.step_interval = float(step_interval)
+        self.on_update: List[Callable[[], None]] = list(on_update or [])
+        self.updates_applied = 0
+        self._proc = PeriodicProcess(sim, self.step_interval, self._tick)
+
+    def _tick(self) -> None:
+        pos = self.model.step(self.step_interval)
+        self.topology.set_positions(pos)
+        self.updates_applied += 1
+        for cb in self.on_update:
+            cb()
+
+    def stop(self) -> None:
+        """Stop advancing positions (simulation teardown)."""
+        self._proc.stop()

@@ -1,0 +1,26 @@
+"""The trivial mobility model: nobody moves.
+
+Used by the snapshot experiments (reachability analysis, Figs 3-9) and as a
+baseline in tests.  Keeping it as a real model (rather than special-casing
+"no mobility" in the driver) means the same experiment code runs static and
+mobile scenarios.  The paper motivates this case explicitly: the
+mobility-assisted contact scheme of [13] "may not be suitable for static
+sensor networks", which CARD targets too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+
+__all__ = ["StaticMobility"]
+
+
+class StaticMobility(MobilityModel):
+    """Positions are constant; ``step`` is a no-op returning them."""
+
+    def step(self, dt: float) -> np.ndarray:
+        if dt < 0:
+            raise ValueError("dt must be >= 0")
+        return self.positions

@@ -1,0 +1,135 @@
+"""Random way-point (RWP) mobility — the paper's model (§IV).
+
+Each node repeats: pick a uniform destination in the area, travel toward it
+in a straight line at a speed drawn uniformly from ``[min_speed,
+max_speed]``, then pause for ``pause_time`` seconds.  This is the NS-2
+``setdest`` model the paper used.
+
+The integrator is fully vectorized: per step it advances all moving nodes by
+``speed * dt`` along their unit heading, detects arrivals (including exact
+hits), and redraws waypoints/speeds for nodes whose pause expired.  Nodes
+never leave the area because waypoints are inside it and travel is linear.
+
+A known RWP artifact is acknowledged by the paper itself (footnote to
+§IV.B.3): node speed distribution decays over time when ``min_speed=0``.
+We default ``min_speed`` to a small positive value and expose it so the
+ablation can reproduce the paper's "stable contacts over time" observation
+under both settings.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["RandomWaypoint"]
+
+
+class RandomWaypoint(MobilityModel):
+    """Random way-point kinematics.
+
+    Parameters
+    ----------
+    positions:
+        Initial ``(N, 2)`` coordinates.
+    area:
+        ``(width, height)`` rectangle.
+    min_speed, max_speed:
+        Uniform speed range in m/s.  ``min_speed > 0`` avoids the classic
+        RWP speed-decay degeneracy.
+    pause_time:
+        Pause at each waypoint, seconds (0 = continuous motion).
+    rng:
+        Seeded generator; owns all waypoint/speed draws.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        area: Tuple[float, float],
+        *,
+        min_speed: float = 0.5,
+        max_speed: float = 5.0,
+        pause_time: float = 0.0,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(positions, area)
+        check_positive("max_speed", max_speed)
+        check_non_negative("min_speed", min_speed)
+        check_non_negative("pause_time", pause_time)
+        if min_speed > max_speed:
+            raise ValueError("min_speed must be <= max_speed")
+        self.min_speed = float(min_speed)
+        self.max_speed = float(max_speed)
+        self.pause_time = float(pause_time)
+        self.rng = rng
+        n = self.num_nodes
+        self.waypoints = self._draw_waypoints(n)
+        self.speeds = self._draw_speeds(n)
+        #: remaining pause per node (starts moving immediately)
+        self.pause_left = np.zeros(n, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def _draw_waypoints(self, count: int) -> np.ndarray:
+        wp = np.empty((count, 2), dtype=np.float64)
+        wp[:, 0] = self.rng.uniform(0.0, self.area[0], size=count)
+        wp[:, 1] = self.rng.uniform(0.0, self.area[1], size=count)
+        return wp
+
+    def _draw_speeds(self, count: int) -> np.ndarray:
+        return self.rng.uniform(self.min_speed, self.max_speed, size=count)
+
+    # ------------------------------------------------------------------
+    def step(self, dt: float) -> np.ndarray:
+        """Advance every node by ``dt`` seconds of RWP motion."""
+        if dt < 0:
+            raise ValueError("dt must be >= 0")
+        if dt == 0:
+            return self.positions
+        n = self.num_nodes
+        remaining = np.full(n, float(dt))
+
+        # Consume pause time first (vectorized).
+        pausing = self.pause_left > 0
+        if pausing.any():
+            used = np.minimum(self.pause_left[pausing], remaining[pausing])
+            self.pause_left[pausing] -= used
+            remaining[pausing] -= used
+
+        # Nodes may arrive mid-step and need a new leg; loop until the step
+        # budget is exhausted (at most a handful of iterations in practice).
+        for _ in range(64):
+            moving = remaining > 1e-12
+            if self.pause_time > 0:
+                moving &= self.pause_left <= 0
+            if not moving.any():
+                break
+            idx = np.flatnonzero(moving)
+            delta = self.waypoints[idx] - self.positions[idx]
+            dist = np.hypot(delta[:, 0], delta[:, 1])
+            t_arrive = np.where(
+                dist > 0, dist / self.speeds[idx], 0.0
+            )
+            t_move = np.minimum(t_arrive, remaining[idx])
+            with np.errstate(invalid="ignore", divide="ignore"):
+                unit = np.where(dist[:, None] > 0, delta / dist[:, None], 0.0)
+            self.positions[idx] += unit * (self.speeds[idx] * t_move)[:, None]
+            remaining[idx] -= t_move
+
+            arrived = idx[t_arrive <= t_move + 1e-12]
+            if arrived.size:
+                # snap to the waypoint to kill float drift, then start pause
+                self.positions[arrived] = self.waypoints[arrived]
+                self.waypoints[arrived] = self._draw_waypoints(arrived.size)
+                self.speeds[arrived] = self._draw_speeds(arrived.size)
+                if self.pause_time > 0:
+                    self.pause_left[arrived] = self.pause_time
+                    used = np.minimum(self.pause_left[arrived], remaining[arrived])
+                    self.pause_left[arrived] -= used
+                    remaining[arrived] -= used
+        self._clip()
+        return self.positions

@@ -1,0 +1,61 @@
+"""Wireless network substrate: geometry, connectivity, messages, accounting.
+
+This package replaces the NS-2 substrate the paper used.  Its layers:
+
+* :mod:`repro.net.spatial` — a uniform-grid spatial index for O(N) unit-disk
+  neighbor queries (vectorized with NumPy per the HPC guides);
+* :mod:`repro.net.topology` — node positions + transmission range → an
+  adjacency structure, rebuilt cheaply as mobility moves nodes;
+* :mod:`repro.net.graph` — hop-count BFS (pure-Python and scipy.sparse bulk
+  variants), connected components, diameter and mean-hop statistics — the
+  quantities reported in the paper's Table 1;
+* :mod:`repro.net.messages` — typed control messages (CSQ, validation, DSQ,
+  bordercast, flood) shared by CARD and the baselines;
+* :mod:`repro.net.stats` — the control-message accounting that every figure
+  of the paper's overhead analysis is computed from;
+* :mod:`repro.net.network` — a façade coupling topology, DES clock and
+  stats, offering hop-by-hop unicast and one-hop broadcast primitives.
+"""
+
+from repro.net.topology import Topology
+from repro.net.graph import (
+    bfs_hops,
+    bfs_tree,
+    hop_distance_matrix,
+    connected_components,
+    graph_stats,
+    GraphStats,
+    shortest_path,
+)
+from repro.net.messages import (
+    Message,
+    MessageKind,
+    ContactSelectionQuery,
+    ValidationMessage,
+    DestinationSearchQuery,
+    FloodQuery,
+    BordercastQuery,
+)
+from repro.net.stats import MessageStats, OVERHEAD_CATEGORIES
+from repro.net.network import Network
+
+__all__ = [
+    "Topology",
+    "Network",
+    "bfs_hops",
+    "bfs_tree",
+    "hop_distance_matrix",
+    "connected_components",
+    "graph_stats",
+    "GraphStats",
+    "shortest_path",
+    "Message",
+    "MessageKind",
+    "ContactSelectionQuery",
+    "ValidationMessage",
+    "DestinationSearchQuery",
+    "FloodQuery",
+    "BordercastQuery",
+    "MessageStats",
+    "OVERHEAD_CATEGORIES",
+]

@@ -1,0 +1,237 @@
+"""Hop-count graph algorithms over adjacency lists.
+
+Everything CARD measures is hop-based: neighborhoods are "nodes within R
+hops", contacts live in the ``(2R, r]`` band, Table 1 reports diameter and
+mean hop count.  This module provides:
+
+* :func:`bfs_hops` / :func:`bfs_tree` — single-source BFS (pure Python,
+  deque-based) returning hop distances and predecessor trees;
+* :func:`hop_distance_matrix` — all-pairs hop distances, delegated to
+  ``scipy.sparse.csgraph`` (C-speed BFS over a CSR matrix) with a pure-Python
+  fallback, per the HPC guide's "use compiled code for the hot spot";
+* :func:`connected_components`, :func:`graph_stats` — the Table 1 columns;
+* :func:`shortest_path` — hop-optimal path extraction for query replies.
+
+Adjacency representation: ``list[np.ndarray]`` — ``adj[u]`` is a sorted int
+array of u's neighbors.  This is the format produced by
+:class:`repro.net.topology.Topology` and shared by all protocol code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # scipy is a hard dependency of the package, but keep a fallback
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import shortest_path as _sp_shortest_path
+
+    _HAVE_SCIPY = True
+except Exception:  # pragma: no cover - exercised only without scipy
+    _HAVE_SCIPY = False
+
+__all__ = [
+    "UNREACHABLE",
+    "bfs_hops",
+    "bfs_tree",
+    "hop_distance_matrix",
+    "neighborhood_sets",
+    "connected_components",
+    "graph_stats",
+    "GraphStats",
+    "shortest_path",
+    "adjacency_to_csr",
+]
+
+#: Marker for "no path" in integer hop-distance arrays.
+UNREACHABLE: int = -1
+
+
+def bfs_hops(adj: Sequence[np.ndarray], source: int, max_hops: Optional[int] = None) -> np.ndarray:
+    """Hop distances from ``source`` to every node (−1 if unreachable).
+
+    ``max_hops`` truncates the search at that radius — the common case for
+    neighborhood computation, where only nodes within R hops matter.
+    """
+    n = len(adj)
+    dist = np.full(n, UNREACHABLE, dtype=np.int32)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if max_hops is not None and du >= max_hops:
+            continue
+        for v in adj[u]:
+            v = int(v)
+            if dist[v] == UNREACHABLE:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_tree(
+    adj: Sequence[np.ndarray], source: int, max_hops: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Like :func:`bfs_hops` but also return the BFS predecessor array.
+
+    ``parent[source] == source``; unreachable nodes have ``parent == -1``.
+    Neighbor arrays are sorted, so the predecessor choice (lowest-id parent
+    at each level) is deterministic.
+    """
+    n = len(adj)
+    dist = np.full(n, UNREACHABLE, dtype=np.int32)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    parent[source] = source
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if max_hops is not None and du >= max_hops:
+            continue
+        for v in adj[u]:
+            v = int(v)
+            if dist[v] == UNREACHABLE:
+                dist[v] = du + 1
+                parent[v] = u
+                queue.append(v)
+    return dist, parent
+
+
+def adjacency_to_csr(adj: Sequence[np.ndarray]) -> "csr_matrix":
+    """Convert adjacency lists to a scipy CSR matrix of unit weights."""
+    if not _HAVE_SCIPY:  # pragma: no cover
+        raise RuntimeError("scipy is unavailable")
+    n = len(adj)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for i, nbrs in enumerate(adj):
+        indptr[i + 1] = indptr[i] + len(nbrs)
+    indices = (
+        np.concatenate([np.asarray(a, dtype=np.int64) for a in adj])
+        if n and indptr[-1] > 0
+        else np.empty(0, dtype=np.int64)
+    )
+    data = np.ones(indptr[-1], dtype=np.int8)
+    return csr_matrix((data, indices, indptr), shape=(n, n))
+
+
+def hop_distance_matrix(adj: Sequence[np.ndarray]) -> np.ndarray:
+    """All-pairs hop distances as an ``(N, N)`` int32 array (−1 unreachable).
+
+    Uses scipy's C BFS when available (the hot spot of every snapshot
+    experiment at N=1000); otherwise falls back to N pure-Python BFS runs.
+    """
+    n = len(adj)
+    if n == 0:
+        return np.empty((0, 0), dtype=np.int32)
+    if _HAVE_SCIPY:
+        mat = _sp_shortest_path(adjacency_to_csr(adj), method="D", unweighted=True)
+        dist = np.where(np.isinf(mat), UNREACHABLE, mat).astype(np.int32)
+        return dist
+    return np.stack([bfs_hops(adj, s) for s in range(n)])
+
+
+def neighborhood_sets(dist: np.ndarray, radius: int) -> np.ndarray:
+    """Boolean membership matrix: ``M[u, v]`` iff v within ``radius`` hops of u.
+
+    Note ``M[u, u]`` is True (a node is in its own neighborhood), matching
+    the paper's definition "all nodes within R hops from the source node".
+    """
+    return (dist >= 0) & (dist <= int(radius))
+
+
+def connected_components(adj: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Connected components as arrays of node ids, largest first."""
+    n = len(adj)
+    seen = np.zeros(n, dtype=bool)
+    comps: List[np.ndarray] = []
+    for s in range(n):
+        if seen[s]:
+            continue
+        dist = bfs_hops(adj, s)
+        members = np.flatnonzero(dist >= 0)
+        seen[members] = True
+        comps.append(members)
+    comps.sort(key=lambda c: (-len(c), int(c[0]) if len(c) else 0))
+    return comps
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """The connectivity statistics reported in the paper's Table 1."""
+
+    num_nodes: int
+    num_links: int
+    mean_degree: float
+    #: hop diameter of the largest connected component
+    diameter: int
+    #: mean hop distance over connected pairs (largest component)
+    mean_hops: float
+    #: size of the largest connected component
+    giant_size: int
+    num_components: int
+
+    def row(self) -> List[object]:
+        """Row cells in Table 1 column order (after the scenario columns)."""
+        return [
+            self.num_links,
+            self.mean_degree,
+            self.diameter,
+            self.mean_hops,
+        ]
+
+
+def graph_stats(adj: Sequence[np.ndarray]) -> GraphStats:
+    """Compute :class:`GraphStats` for an adjacency structure.
+
+    Diameter and mean hops follow the paper's Table 1 reading: they are
+    taken over the *largest connected component* (several of the paper's
+    sparser scenarios — e.g. scenario 3 with mean degree 2.57 — cannot be
+    fully connected, yet report a finite diameter).
+    """
+    n = len(adj)
+    num_links = sum(len(a) for a in adj) // 2
+    mean_degree = (2.0 * num_links / n) if n else 0.0
+    comps = connected_components(adj)
+    if not comps:
+        return GraphStats(0, 0, 0.0, 0, 0.0, 0, 0)
+    giant = comps[0]
+    if len(giant) < 2:
+        return GraphStats(n, num_links, mean_degree, 0, 0.0, len(giant), len(comps))
+    dist = hop_distance_matrix(adj)
+    sub = dist[np.ix_(giant, giant)]
+    finite = sub[sub > 0]
+    diameter = int(finite.max()) if finite.size else 0
+    mean_hops = float(finite.mean()) if finite.size else 0.0
+    return GraphStats(
+        num_nodes=n,
+        num_links=num_links,
+        mean_degree=mean_degree,
+        diameter=diameter,
+        mean_hops=mean_hops,
+        giant_size=len(giant),
+        num_components=len(comps),
+    )
+
+
+def shortest_path(adj: Sequence[np.ndarray], source: int, target: int) -> Optional[List[int]]:
+    """A hop-optimal path from ``source`` to ``target`` (inclusive), or None.
+
+    Deterministic: ties broken toward lower node ids via sorted adjacency.
+    """
+    if source == target:
+        return [source]
+    dist, parent = bfs_tree(adj, source)
+    if dist[target] == UNREACHABLE:
+        return None
+    path = [target]
+    node = target
+    while node != source:
+        node = int(parent[node])
+        path.append(node)
+    path.reverse()
+    return path

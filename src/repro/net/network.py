@@ -1,0 +1,153 @@
+"""The network façade: topology + simulated clock + message accounting.
+
+Protocol implementations (CARD, flooding, bordercasting, DSDV) interact with
+the network exclusively through this class:
+
+* :meth:`transmit` — account one hop-transmission of a typed message; this
+  is *the* counter behind every overhead figure in the paper;
+* :meth:`unicast_path` — walk a source route hop by hop, verifying each link
+  against the live adjacency (used by validation and DSQ forwarding);
+* :meth:`random_neighbor` — the CSQ's "forward to a randomly chosen
+  neighbor" primitive, with exclusions;
+* neighborhood accessors delegating to the owned
+  :class:`~repro.routing.neighborhood.NeighborhoodTables`.
+
+The façade deliberately does not model propagation delay or loss — the
+paper's simulations ignore the MAC layer, and all reported metrics are
+message *counts* and hop-level reachability.  A ``hop_delay`` can be set to
+spread events over simulated time for the time-series experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.des.engine import Simulator
+from repro.net.messages import Message, MessageKind
+from repro.net.stats import MessageStats
+from repro.net.topology import Topology
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Couples a :class:`Topology`, a :class:`Simulator` and message stats.
+
+    Parameters
+    ----------
+    topology:
+        The ground-truth connectivity.
+    sim:
+        Optional simulator; when omitted a fresh one is created (snapshot
+        experiments never advance it).
+    hop_delay:
+        Simulated per-hop forwarding latency in seconds.  Zero by default;
+        the time-series experiments leave it at zero and timestamp overhead
+        by the *timer* that triggered it, like the paper's per-interval
+        accounting.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        sim: Optional[Simulator] = None,
+        hop_delay: float = 0.0,
+    ) -> None:
+        if hop_delay < 0:
+            raise ValueError("hop_delay must be >= 0")
+        self.topology = topology
+        self.sim = sim if sim is not None else Simulator()
+        self.hop_delay = float(hop_delay)
+        self.stats = MessageStats(topology.num_nodes)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_nodes
+
+    @property
+    def adj(self) -> List[np.ndarray]:
+        return self.topology.adj
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Direct (one-hop) neighbors of ``u``."""
+        return self.topology.adj[u]
+
+    def are_neighbors(self, u: int, v: int) -> bool:
+        return self.topology.are_neighbors(u, v)
+
+    # ------------------------------------------------------------------
+    # transmission accounting
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        message: Message,
+        transmitter: int,
+        *,
+        kind: Optional[MessageKind] = None,
+        time: Optional[float] = None,
+    ) -> None:
+        """Account one transmission of ``message`` by ``transmitter``.
+
+        ``kind`` overrides the message's own category — used when a CSQ hop
+        is a *backtrack* rather than forward progress.  ``time`` defaults to
+        the simulator clock.
+        """
+        k = kind if kind is not None else message.kind
+        t = self.sim.now if time is None else time
+        self.stats.record(k, transmitter, time=t)
+
+    # ------------------------------------------------------------------
+    # communication primitives
+    # ------------------------------------------------------------------
+    def unicast_path(
+        self,
+        message: Message,
+        path: Sequence[int],
+        *,
+        kind: Optional[MessageKind] = None,
+    ) -> bool:
+        """Send ``message`` along an explicit source route, counting each hop.
+
+        Returns True if every consecutive pair in ``path`` is a live link
+        (message delivered); on the first broken link the hops already taken
+        remain counted (they were transmitted) and False is returned.
+
+        This models loose source routing *without* repair; protocols with
+        repair (contact validation) walk the path themselves.
+        """
+        for a, b in zip(path, path[1:]):
+            self.transmit(message, int(a), kind=kind)
+            if not self.are_neighbors(int(a), int(b)):
+                return False
+        return True
+
+    def random_neighbor(
+        self,
+        u: int,
+        rng: np.random.Generator,
+        exclude: Optional[Sequence[int]] = None,
+    ) -> Optional[int]:
+        """A uniformly random neighbor of ``u`` not in ``exclude``.
+
+        Implements the CSQ forwarding rule "forwards the query to one of its
+        randomly chosen neighbors (excluding the one from which CSQ was
+        received)".  Returns None when no eligible neighbor exists (the
+        walk must then backtrack).
+        """
+        nbrs = self.topology.adj[u]
+        if exclude:
+            excl = set(int(e) for e in exclude)
+            eligible = [int(v) for v in nbrs if int(v) not in excl]
+        else:
+            eligible = [int(v) for v in nbrs]
+        if not eligible:
+            return None
+        return eligible[int(rng.integers(len(eligible)))]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network({self.topology!r}, t={self.sim.now:.6g})"

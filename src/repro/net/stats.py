@@ -1,0 +1,140 @@
+"""Control-message accounting.
+
+Every overhead figure in the paper (Figs 4, 10-15) is a count of control
+messages, attributed to a category and often binned over time.  This module
+centralizes that accounting:
+
+* per-category totals (selection, backtracking, validation, query, ...),
+* per-node counts (the paper reports "overhead per node"),
+* per-time-bin series (Figs 10-13 plot messages per 2-second window).
+
+A single :class:`MessageStats` instance is owned by the
+:class:`repro.net.network.Network` façade; protocol code records through
+``network.transmit(...)`` and never touches counters directly, so a message
+can never be double- or un-counted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.messages import MessageKind
+
+__all__ = ["MessageStats", "OVERHEAD_CATEGORIES"]
+
+#: Categories that the paper's "total overhead" figures aggregate
+#: (contact selection incl. backtracking + maintenance; §IV.B).
+OVERHEAD_CATEGORIES = (
+    MessageKind.CONTACT_SELECTION,
+    MessageKind.BACKTRACK,
+    MessageKind.VALIDATION,
+)
+
+
+class MessageStats:
+    """Counters for control-message transmissions.
+
+    Parameters
+    ----------
+    num_nodes:
+        Network size; enables per-node breakdowns.
+    time_bin:
+        Width (seconds) of the time-series bins.  The paper's time plots use
+        2-second ticks.
+    """
+
+    def __init__(self, num_nodes: int, time_bin: float = 2.0) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if time_bin <= 0:
+            raise ValueError("time_bin must be positive")
+        self.num_nodes = int(num_nodes)
+        self.time_bin = float(time_bin)
+        self._totals: Dict[MessageKind, int] = defaultdict(int)
+        self._per_node: Dict[MessageKind, np.ndarray] = {}
+        self._series: Dict[MessageKind, Dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        kind: MessageKind,
+        transmitter: int,
+        time: Optional[float] = None,
+        count: int = 1,
+    ) -> None:
+        """Record ``count`` transmissions of category ``kind`` by a node."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._totals[kind] += count
+        arr = self._per_node.get(kind)
+        if arr is None:
+            arr = np.zeros(self.num_nodes, dtype=np.int64)
+            self._per_node[kind] = arr
+        arr[transmitter] += count
+        if time is not None:
+            self._series[kind][int(time // self.time_bin)] += count
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def total(self, *kinds: MessageKind) -> int:
+        """Total messages across the given categories (all if none given)."""
+        if not kinds:
+            return sum(self._totals.values())
+        return sum(self._totals.get(k, 0) for k in kinds)
+
+    def per_node(self, *kinds: MessageKind) -> np.ndarray:
+        """Per-node transmission counts summed over categories."""
+        out = np.zeros(self.num_nodes, dtype=np.int64)
+        targets = kinds if kinds else tuple(self._per_node)
+        for k in targets:
+            arr = self._per_node.get(k)
+            if arr is not None:
+                out += arr
+        return out
+
+    def mean_per_node(self, *kinds: MessageKind) -> float:
+        """Mean messages per node — the paper's "overhead per node" metric."""
+        return float(self.total(*kinds)) / self.num_nodes
+
+    def series(
+        self,
+        kinds: Sequence[MessageKind],
+        horizon: float,
+    ) -> List[float]:
+        """Messages-per-node in each time bin of ``[0, horizon)``.
+
+        Returns one value per bin, matching the x-axes of Figs 10-13
+        (t = 2, 4, 6, ... seconds for the default 2 s bin).
+        """
+        nbins = int(np.ceil(horizon / self.time_bin))
+        out = [0.0] * nbins
+        for k in kinds:
+            for b, c in self._series.get(k, {}).items():
+                if 0 <= b < nbins:
+                    out[b] += c
+        return [v / self.num_nodes for v in out]
+
+    def overhead_series(self, horizon: float) -> List[float]:
+        """Time series of the paper's total-overhead aggregate."""
+        return self.series(OVERHEAD_CATEGORIES, horizon)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Category → total, for reporting."""
+        return {k.value: v for k, v in sorted(self._totals.items(), key=lambda kv: kv[0].value)}
+
+    def reset(self) -> None:
+        """Zero all counters (used between measurement phases)."""
+        self._totals.clear()
+        self._per_node.clear()
+        self._series.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MessageStats(N={self.num_nodes}, totals={self.snapshot()})"

@@ -1,0 +1,211 @@
+"""Node placement + radio range → connectivity, with cheap rebuilds.
+
+A :class:`Topology` owns the ground truth the whole simulator works from:
+
+* ``positions`` — an ``(N, 2)`` float array of node coordinates (meters);
+* ``tx_range`` — the common transmission range of the unit-disk model;
+* ``adj`` — per-node sorted neighbor arrays, derived from the above.
+
+Mobility models mutate positions (through :meth:`set_positions`), which
+invalidates and lazily rebuilds the adjacency and any cached hop-distance
+matrix.  An ``epoch`` counter increments on every rebuild so higher layers
+(neighborhood tables, CARD state) can detect staleness without comparing
+arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net import graph as g
+from repro.net.spatial import build_unit_disk_edges
+from repro.util.validation import check_positive
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Unit-disk connectivity over mobile node positions.
+
+    Parameters
+    ----------
+    positions:
+        Initial ``(N, 2)`` coordinates.
+    tx_range:
+        Radio transmission range in meters (unit-disk).
+    area:
+        ``(width, height)`` of the simulation rectangle; nodes must stay
+        inside (mobility models enforce this).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> topo = Topology(np.array([[0., 0.], [30., 0.], [100., 0.]]),
+    ...                 tx_range=50.0, area=(200.0, 200.0))
+    >>> [list(a) for a in topo.adj]
+    [[1], [0], []]
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        tx_range: float,
+        area: Tuple[float, float],
+    ) -> None:
+        positions = np.array(positions, dtype=np.float64, copy=True)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError("positions must have shape (N, 2)")
+        check_positive("tx_range", tx_range)
+        check_positive("area width", area[0])
+        check_positive("area height", area[1])
+        if positions.size and (
+            positions.min() < 0.0
+            or positions[:, 0].max() > area[0]
+            or positions[:, 1].max() > area[1]
+        ):
+            raise ValueError("positions must lie inside the area rectangle")
+        self._positions = positions
+        self.tx_range = float(tx_range)
+        self.area = (float(area[0]), float(area[1]))
+        #: increments every time connectivity is rebuilt
+        self.epoch = 0
+        #: per-node liveness; failed nodes keep their index but lose all
+        #: links (failure injection for the robustness experiments)
+        self._active = np.ones(positions.shape[0], dtype=bool)
+        self._adj: Optional[List[np.ndarray]] = None
+        self._dist: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform_random(
+        cls,
+        num_nodes: int,
+        area: Tuple[float, float],
+        tx_range: float,
+        rng: np.random.Generator,
+    ) -> "Topology":
+        """Place ``num_nodes`` uniformly at random in the area.
+
+        This is the generative model behind the paper's Table 1 scenarios.
+        """
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        pos = np.empty((num_nodes, 2), dtype=np.float64)
+        pos[:, 0] = rng.uniform(0.0, area[0], size=num_nodes)
+        pos[:, 1] = rng.uniform(0.0, area[1], size=num_nodes)
+        return cls(pos, tx_range, area)
+
+    # ------------------------------------------------------------------
+    # core accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._positions.shape[0]
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Read-only view of node coordinates."""
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    def set_positions(self, positions: np.ndarray) -> None:
+        """Replace node coordinates and invalidate derived structures."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.shape != self._positions.shape:
+            raise ValueError("node count cannot change after construction")
+        self._positions = np.array(positions, copy=True)
+        self._adj = None
+        self._dist = None
+        self.epoch += 1
+
+    @property
+    def adj(self) -> List[np.ndarray]:
+        """Sorted neighbor arrays; rebuilt lazily after movement."""
+        if self._adj is None:
+            self._adj = self._build_adjacency()
+        return self._adj
+
+    def _build_adjacency(self) -> List[np.ndarray]:
+        n = self.num_nodes
+        edges = build_unit_disk_edges(self._positions, self.tx_range, self.area)
+        buckets: List[List[int]] = [[] for _ in range(n)]
+        active = self._active
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if active[u] and active[v]:
+                buckets[u].append(v)
+                buckets[v].append(u)
+        return [np.array(sorted(b), dtype=np.int64) for b in buckets]
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> np.ndarray:
+        """Read-only per-node liveness mask."""
+        view = self._active.view()
+        view.flags.writeable = False
+        return view
+
+    def is_active(self, u: int) -> bool:
+        return bool(self._active[u])
+
+    def set_active(self, u: int, alive: bool) -> None:
+        """Fail (or revive) node ``u``: a failed node keeps its position but
+        loses every link, exactly like a powered-off radio.  Rebuilds
+        connectivity (epoch bump) when the state actually changes."""
+        if bool(self._active[u]) == bool(alive):
+            return
+        self._active[u] = bool(alive)
+        self._adj = None
+        self._dist = None
+        self.epoch += 1
+
+    def fail_nodes(self, nodes) -> None:
+        """Fail several nodes in one epoch bump."""
+        changed = False
+        for u in nodes:
+            if self._active[int(u)]:
+                self._active[int(u)] = False
+                changed = True
+        if changed:
+            self._adj = None
+            self._dist = None
+            self.epoch += 1
+
+    # ------------------------------------------------------------------
+    # derived graph quantities (cached per epoch)
+    # ------------------------------------------------------------------
+    def hop_distances(self) -> np.ndarray:
+        """All-pairs hop distance matrix, cached until the next movement."""
+        if self._dist is None:
+            self._dist = g.hop_distance_matrix(self.adj)
+        return self._dist
+
+    def neighborhood_matrix(self, radius: int) -> np.ndarray:
+        """Boolean ``(N, N)`` matrix of R-hop neighborhood membership."""
+        return g.neighborhood_sets(self.hop_distances(), radius)
+
+    def are_neighbors(self, u: int, v: int) -> bool:
+        """True iff ``u`` and ``v`` share a direct (one-hop) link."""
+        nbrs = self.adj[u]
+        i = int(np.searchsorted(nbrs, v))
+        return i < len(nbrs) and int(nbrs[i]) == v
+
+    def degree(self, u: int) -> int:
+        return len(self.adj[u])
+
+    def stats(self) -> g.GraphStats:
+        """Connectivity statistics (the Table 1 columns)."""
+        return g.graph_stats(self.adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(N={self.num_nodes}, area={self.area}, "
+            f"tx={self.tx_range}, epoch={self.epoch})"
+        )

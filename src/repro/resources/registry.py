@@ -1,0 +1,110 @@
+"""Resource registry: typed resources and their provider nodes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+__all__ = ["ResourceRegistry"]
+
+
+class ResourceRegistry:
+    """A directory mapping resource keys to the nodes providing them.
+
+    Keys are arbitrary hashable labels (strings in practice).  A node may
+    provide many resources and a resource may have many providers.  The
+    registry is deliberately *global state about ground truth* — protocol
+    code never reads it directly; discovery engines consult it only
+    through zone-scoped views (``providers_in``), mirroring how a real
+    deployment would learn provider presence from the proactive
+    intra-zone advertisements.
+
+    Examples
+    --------
+    >>> reg = ResourceRegistry()
+    >>> reg.register("gateway", 7)
+    >>> reg.register("gateway", 42)
+    >>> sorted(reg.providers("gateway"))
+    [7, 42]
+    >>> reg.provides(7)
+    ('gateway',)
+    """
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, Set[int]] = defaultdict(set)
+        self._by_node: Dict[int, Set[str]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, resource: str, node: int) -> None:
+        """Declare that ``node`` provides ``resource``."""
+        if not isinstance(resource, str) or not resource:
+            raise ValueError("resource key must be a non-empty string")
+        self._providers[resource].add(int(node))
+        self._by_node[int(node)].add(resource)
+
+    def register_many(self, resource: str, nodes: Iterable[int]) -> None:
+        for node in nodes:
+            self.register(resource, int(node))
+
+    def deregister(self, resource: str, node: int) -> None:
+        """Remove one provider; unknown pairs raise ``KeyError``."""
+        try:
+            self._providers[resource].remove(int(node))
+        except KeyError:
+            raise KeyError(f"node {node} does not provide {resource!r}") from None
+        self._by_node[int(node)].discard(resource)
+        if not self._providers[resource]:
+            del self._providers[resource]
+
+    def deregister_node(self, node: int) -> None:
+        """Remove a node from every resource (e.g. it died)."""
+        for resource in list(self._by_node.get(int(node), ())):
+            self.deregister(resource, node)
+        self._by_node.pop(int(node), None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def resources(self) -> List[str]:
+        """All registered resource keys, sorted."""
+        return sorted(self._providers)
+
+    def providers(self, resource: str) -> np.ndarray:
+        """Provider node ids for ``resource`` (empty array if none)."""
+        return np.array(sorted(self._providers.get(resource, ())), dtype=np.int64)
+
+    def provides(self, node: int) -> tuple:
+        """Resource keys hosted by ``node``, sorted."""
+        return tuple(sorted(self._by_node.get(int(node), ())))
+
+    def has_provider(self, resource: str) -> bool:
+        return bool(self._providers.get(resource))
+
+    def providers_in(self, resource: str, members: np.ndarray) -> np.ndarray:
+        """Providers of ``resource`` among ``members`` (a zone view).
+
+        ``members`` is any id array — typically
+        :meth:`NeighborhoodTables.members`; this is the zone-scoped lookup
+        the proactive scheme makes possible.
+        """
+        prov = self._providers.get(resource)
+        if not prov:
+            return np.empty(0, dtype=np.int64)
+        members = np.asarray(members, dtype=np.int64)
+        mask = np.fromiter((int(m) in prov for m in members), dtype=bool,
+                           count=len(members))
+        return members[mask]
+
+    def __len__(self) -> int:
+        """Number of distinct resource keys."""
+        return len(self._providers)
+
+    def __contains__(self, resource: str) -> bool:
+        return resource in self._providers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResourceRegistry({ {k: sorted(v) for k, v in self._providers.items()} })"

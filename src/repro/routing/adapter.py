@@ -1,0 +1,103 @@
+"""Run CARD on the *real* zone protocol: a DSDV-backed tables adapter.
+
+:class:`DSDVNeighborhoodTables` exposes the
+:class:`~repro.routing.neighborhood.NeighborhoodTables` interface (the one
+CARD's selector/maintainer/query engine consume) but answers every query
+from a live :class:`~repro.routing.dsdv.ScopedDSDV` instance instead of a
+BFS oracle.  This closes the loop of §III.C's "each node proactively (using
+a protocol such as DSDV) maintains state for all the nodes in its
+neighborhood": with this adapter the entire CARD stack runs on
+protocol-learned state, including its staleness under mobility.
+
+Differences from the oracle that CARD must (and does) tolerate:
+
+* tables lag the real topology by up to one advertisement period;
+* ``path_within`` chases next-hops and can fail transiently;
+* ``distances`` only knows intra-zone metrics (−1 elsewhere), so the
+  membership matrix is exactly the zone knowledge, not global truth.
+
+The integration tests verify that CARD-on-DSDV equals CARD-on-oracle on a
+converged static network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.routing.dsdv import ScopedDSDV
+
+__all__ = ["DSDVNeighborhoodTables"]
+
+
+class DSDVNeighborhoodTables:
+    """NeighborhoodTables-compatible view over live DSDV state.
+
+    Parameters
+    ----------
+    dsdv:
+        The running protocol instance; its ``radius`` becomes this view's
+        radius (CARD requires the two to match anyway).
+    """
+
+    def __init__(self, dsdv: ScopedDSDV) -> None:
+        self.dsdv = dsdv
+        self.radius = dsdv.radius
+        self.topology = dsdv.network.topology
+        self._cache_key: Optional[tuple] = None
+        self._member: Optional[np.ndarray] = None
+        self._dist: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        """Rebuild the matrix views when time or topology advanced.
+
+        DSDV state changes with simulation time (advertisements) as well as
+        with topology epochs (triggered updates), so both key the cache.
+        """
+        key = (self.dsdv.network.sim.now, self.topology.epoch)
+        if key != self._cache_key or self._member is None:
+            dist = self.dsdv.converged_distance_matrix()
+            self._dist = dist
+            self._member = (dist >= 0) & (dist <= self.radius)
+            self._cache_key = key
+
+    @property
+    def distances(self) -> np.ndarray:
+        self._refresh()
+        assert self._dist is not None
+        return self._dist
+
+    @property
+    def membership(self) -> np.ndarray:
+        self._refresh()
+        assert self._member is not None
+        return self._member
+
+    # ------------------------------------------------------------------
+    # NeighborhoodTables interface
+    # ------------------------------------------------------------------
+    def contains(self, u: int, v: int) -> bool:
+        return self.dsdv.contains(u, v)
+
+    def members(self, u: int) -> np.ndarray:
+        return self.dsdv.members(u)
+
+    def size(self, u: int) -> int:
+        return int(len(self.dsdv.members(u)))
+
+    def edge_nodes(self, u: int) -> np.ndarray:
+        return self.dsdv.edge_nodes(u)
+
+    def hops(self, u: int, v: int) -> int:
+        return self.dsdv.hops(u, v)
+
+    def path_within(self, u: int, v: int) -> Optional[List[int]]:
+        return self.dsdv.path_within(u, v)
+
+    def any_member_of(self, u: int, candidates) -> bool:
+        return any(self.dsdv.contains(u, int(c)) for c in candidates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DSDVNeighborhoodTables(R={self.radius})"

@@ -1,0 +1,299 @@
+"""Scoped DSDV: a faithful destination-sequenced distance-vector protocol
+limited to the CARD neighborhood radius.
+
+This is the protocol realization of the proactive zone the paper assumes
+("using a protocol such as DSDV [1]", §III.C).  It implements the core DSDV
+machinery of Perkins & Bhagwat:
+
+* per-destination **sequence numbers** — even numbers originated by the
+  destination itself on every advertisement; odd (destination+1) numbers
+  stamped by a neighbor that detects the link to it broke;
+* route acceptance rule: newer sequence number wins; equal sequence numbers
+  keep the smaller metric;
+* **periodic full-table advertisements** (one wireless broadcast per node
+  per period, counted as one ``ROUTING_UPDATE`` transmission);
+* **triggered updates** on link-break detection, advertising the
+  invalidated destinations immediately;
+* **scoping**: entries are only advertised while their metric is below the
+  neighborhood radius R, so knowledge never propagates past R hops — the
+  zone concept of CARD/ZRP.
+
+The implementation is event-driven on the shared simulator.  Its converged
+tables are provably (and property-tested to be) equal to scoped-BFS truth on
+a static topology; under mobility the tables lag reality by O(period), which
+is exactly the imperfection CARD's local-recovery mechanism tolerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.des.process import PeriodicProcess
+from repro.net.messages import Message, MessageKind
+from repro.net.network import Network
+from repro.util.validation import check_int, check_positive
+
+__all__ = ["ScopedDSDV", "RouteEntry", "INFINITE_METRIC"]
+
+#: Metric value denoting an unreachable destination (route poisoning).
+INFINITE_METRIC: int = 1 << 20
+
+
+@dataclass
+class RouteEntry:
+    """One row of a DSDV routing table."""
+
+    dest: int
+    next_hop: int
+    metric: int
+    seq: int
+
+    @property
+    def valid(self) -> bool:
+        return self.metric < INFINITE_METRIC
+
+
+@dataclass
+class _Advertisement(Message):
+    """A full- or partial-table broadcast: (dest, metric, seq) triples."""
+
+    origin: int = 0
+    entries: Tuple[Tuple[int, int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        self.kind = MessageKind.ROUTING_UPDATE
+
+
+class ScopedDSDV:
+    """DSDV instances for every node, scoped to ``radius`` hops.
+
+    Parameters
+    ----------
+    network:
+        The façade providing connectivity, clock, and stats.
+    radius:
+        Zone radius R; entries never propagate beyond it.
+    period:
+        Advertisement period (seconds).
+    jitter:
+        Phase jitter fraction for the per-node advertisement timers.
+    rng:
+        Required when ``jitter > 0``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        radius: int,
+        *,
+        period: float = 1.0,
+        jitter: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        check_int("radius", radius)
+        check_positive("radius", radius)
+        check_positive("period", period)
+        self.network = network
+        self.radius = int(radius)
+        self.period = float(period)
+        n = network.num_nodes
+        #: tables[u][dest] -> RouteEntry
+        self.tables: List[Dict[int, RouteEntry]] = [
+            {u: RouteEntry(u, u, 0, 0)} for u in range(n)
+        ]
+        #: own (even) sequence number per node
+        self.own_seq = np.zeros(n, dtype=np.int64)
+        self._procs = [
+            PeriodicProcess(
+                network.sim,
+                self.period,
+                self._make_advertiser(u),
+                jitter=jitter,
+                rng=rng,
+                start_delay=0.0 if jitter == 0 else None,
+            )
+            for u in range(n)
+        ]
+        #: last known neighbor sets, for link-break detection
+        self._last_neighbors: List[set] = [
+            set(int(v) for v in network.neighbors(u)) for u in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # advertisement
+    # ------------------------------------------------------------------
+    def _make_advertiser(self, u: int):
+        def advertise() -> None:
+            self._advertise(u)
+
+        return advertise
+
+    def _advertise(self, u: int, dests: Optional[Sequence[int]] = None) -> None:
+        """Broadcast u's table (or the given subset) to its neighbors."""
+        table = self.tables[u]
+        if dests is None:
+            # periodic: bump own sequence number (always even)
+            self.own_seq[u] += 2
+            table[u] = RouteEntry(u, u, 0, int(self.own_seq[u]))
+            rows = table.values()
+        else:
+            rows = [table[d] for d in dests if d in table]
+        entries = tuple(
+            (e.dest, e.metric, e.seq)
+            for e in rows
+            # scope: only advertise what can still be useful within R,
+            # plus poisoned routes so breaks propagate.
+            if e.metric < self.radius or not e.valid
+        )
+        if not entries:
+            return
+        msg = _Advertisement(origin=u, entries=entries)
+        # One wireless broadcast reaches all current neighbors.  Delivery is
+        # scheduled a small delay later rather than processed inline: inline
+        # processing would let a fresh sequence number cascade many hops
+        # within one advertisement round (receivers that have not advertised
+        # yet this round would relay it instantly), systematically favoring
+        # whatever path happens to run through later-processed nodes and
+        # locking tables onto non-shortest routes.  With one-hop-per-round
+        # propagation the protocol converges to true shortest paths, as
+        # DSDV does in practice.
+        self.network.transmit(msg, u)
+        delay = self.period * 1e-3
+        for v in self.network.neighbors(u):
+            self.network.sim.schedule(delay, self._process, int(v), u, entries)
+
+    # ------------------------------------------------------------------
+    # update processing (DSDV acceptance rules)
+    # ------------------------------------------------------------------
+    def _process(
+        self, v: int, sender: int, entries: Tuple[Tuple[int, int, int], ...]
+    ) -> None:
+        table = self.tables[v]
+        changed: List[int] = []
+        for dest, metric, seq in entries:
+            if dest == v:
+                continue
+            new_metric = metric + 1 if metric < INFINITE_METRIC else INFINITE_METRIC
+            if new_metric > self.radius and new_metric < INFINITE_METRIC:
+                continue  # out of zone
+            cur = table.get(dest)
+            accept = False
+            if cur is None:
+                accept = new_metric <= self.radius or new_metric >= INFINITE_METRIC
+                # a fresh poisoned route for an unknown dest is useless
+                if new_metric >= INFINITE_METRIC:
+                    accept = False
+            elif seq > cur.seq:
+                accept = True
+            elif seq == cur.seq and new_metric < cur.metric:
+                accept = True
+            elif cur.next_hop == sender and seq >= cur.seq:
+                # our current route goes through the sender; always track it
+                accept = True
+            if accept:
+                table[dest] = RouteEntry(dest, sender, new_metric, seq)
+                changed.append(dest)
+        # Purge entries that fell out of the zone via their current next hop.
+        for dest in changed:
+            e = table[dest]
+            if e.metric > self.radius and e.valid:
+                table[dest] = RouteEntry(dest, e.next_hop, INFINITE_METRIC, e.seq)
+
+    # ------------------------------------------------------------------
+    # link-break detection / triggered updates
+    # ------------------------------------------------------------------
+    def on_topology_change(self) -> None:
+        """Detect lost links and poison routes through them (triggered updates).
+
+        Call after every mobility step (wire it into
+        :class:`repro.mobility.base.MobilityDriver`'s ``on_update`` list).
+        """
+        n = self.network.num_nodes
+        for u in range(n):
+            now_nbrs = set(int(v) for v in self.network.neighbors(u))
+            lost = self._last_neighbors[u] - now_nbrs
+            self._last_neighbors[u] = now_nbrs
+            if not lost:
+                continue
+            poisoned: List[int] = []
+            for dest, entry in list(self.tables[u].items()):
+                if entry.valid and entry.next_hop in lost and dest != u:
+                    # odd sequence number: "route broken", originated here
+                    self.tables[u][dest] = RouteEntry(
+                        dest, entry.next_hop, INFINITE_METRIC, entry.seq + 1
+                    )
+                    poisoned.append(dest)
+            if poisoned:
+                self._advertise(u, dests=poisoned)
+
+    # ------------------------------------------------------------------
+    # neighborhood queries (oracle-compatible subset)
+    # ------------------------------------------------------------------
+    def table(self, u: int) -> Dict[int, RouteEntry]:
+        """Node u's routing table (dest → entry), live reference."""
+        return self.tables[u]
+
+    def contains(self, u: int, v: int) -> bool:
+        """True iff u currently has a valid route to v within the zone."""
+        e = self.tables[u].get(v)
+        return e is not None and e.valid and e.metric <= self.radius
+
+    def members(self, u: int) -> np.ndarray:
+        """Destinations u currently routes to (including itself)."""
+        return np.array(
+            sorted(d for d, e in self.tables[u].items() if e.valid),
+            dtype=np.int64,
+        )
+
+    def edge_nodes(self, u: int) -> np.ndarray:
+        """Destinations at exactly R hops according to u's table."""
+        return np.array(
+            sorted(
+                d
+                for d, e in self.tables[u].items()
+                if e.valid and e.metric == self.radius
+            ),
+            dtype=np.int64,
+        )
+
+    def hops(self, u: int, v: int) -> int:
+        e = self.tables[u].get(v)
+        return int(e.metric) if e is not None and e.valid else -1
+
+    def path_within(self, u: int, v: int) -> Optional[List[int]]:
+        """Extract the table-directed path u→v by chasing next hops.
+
+        Unlike the oracle this can fail transiently under mobility (stale
+        next hops); the caller must treat None as a lookup miss.
+        """
+        if not self.contains(u, v):
+            return None
+        path = [u]
+        node = u
+        for _ in range(self.radius + 1):
+            e = self.tables[node].get(v)
+            if e is None or not e.valid:
+                return None
+            node = e.next_hop if e.metric > 1 else v
+            path.append(node)
+            if node == v:
+                return path
+        return None
+
+    def converged_distance_matrix(self) -> np.ndarray:
+        """Current table metrics as an ``(N, N)`` array (−1 where absent)."""
+        n = self.network.num_nodes
+        out = np.full((n, n), -1, dtype=np.int32)
+        for u in range(n):
+            for d, e in self.tables[u].items():
+                if e.valid and e.metric <= self.radius:
+                    out[u, d] = e.metric
+        return out
+
+    def stop(self) -> None:
+        """Stop all advertisement timers (simulation teardown)."""
+        for p in self._procs:
+            p.stop()

@@ -1,0 +1,134 @@
+"""The neighborhood oracle: scoped-BFS realization of CARD's proactive zone.
+
+Per the paper (§III.C): "Each node proactively (using a protocol such as
+DSDV) maintains state for all the nodes in its neighborhood.  Therefore a
+node has complete knowledge of all the nodes (resources) within its
+neighborhood."  This class provides that knowledge directly from the live
+topology:
+
+* ``members(u)`` / ``contains(u, v)`` — neighborhood membership (M[u,v] iff
+  hop distance ≤ R), the primitive behind every CSQ overlap check;
+* ``edge_nodes(u)`` — nodes at *exactly* R hops (the paper's "edge nodes"),
+  through which CSQs are launched;
+* ``path_within(u, v)`` — a hop-optimal intra-zone route, the primitive
+  behind local recovery and DSQ neighborhood lookups;
+* ``hops(u, v)`` — scoped hop distance.
+
+All matrices are cached against the topology ``epoch`` and recomputed in
+bulk (scipy BFS) after each mobility step — the vectorized-over-nodes
+strategy the HPC guides prescribe for this hot spot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.net import graph as g
+from repro.net.topology import Topology
+from repro.util.validation import check_int, check_positive
+
+__all__ = ["NeighborhoodTables"]
+
+
+class NeighborhoodTables:
+    """R-hop neighborhood knowledge for every node, kept fresh lazily.
+
+    Parameters
+    ----------
+    topology:
+        Ground-truth connectivity (shared with the rest of the stack).
+    radius:
+        The neighborhood radius R (hops), ``R >= 1``.
+    """
+
+    def __init__(self, topology: Topology, radius: int) -> None:
+        check_int("radius", radius)
+        check_positive("radius", radius)
+        self.topology = topology
+        self.radius = int(radius)
+        self._epoch = -1
+        self._dist: Optional[np.ndarray] = None
+        self._member: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # freshness
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        if self._epoch != self.topology.epoch or self._dist is None:
+            self._dist = self.topology.hop_distances()
+            self._member = g.neighborhood_sets(self._dist, self.radius)
+            self._epoch = self.topology.epoch
+
+    @property
+    def distances(self) -> np.ndarray:
+        """All-pairs hop distances underlying the tables (−1 unreachable)."""
+        self._refresh()
+        assert self._dist is not None
+        return self._dist
+
+    @property
+    def membership(self) -> np.ndarray:
+        """Boolean matrix: ``membership[u, v]`` iff v in u's neighborhood."""
+        self._refresh()
+        assert self._member is not None
+        return self._member
+
+    # ------------------------------------------------------------------
+    # CARD queries
+    # ------------------------------------------------------------------
+    def contains(self, u: int, v: int) -> bool:
+        """True iff ``v`` lies within R hops of ``u`` (including u itself)."""
+        return bool(self.membership[u, v])
+
+    def members(self, u: int) -> np.ndarray:
+        """IDs of all nodes in u's neighborhood (including u)."""
+        return np.flatnonzero(self.membership[u])
+
+    def size(self, u: int) -> int:
+        """Neighborhood cardinality (including u)."""
+        return int(self.membership[u].sum())
+
+    def edge_nodes(self, u: int) -> np.ndarray:
+        """Nodes at exactly R hops from ``u`` — the CSQ launch points."""
+        self._refresh()
+        assert self._dist is not None
+        return np.flatnonzero(self._dist[u] == self.radius)
+
+    def hops(self, u: int, v: int) -> int:
+        """Hop distance u→v, or −1 if disconnected."""
+        return int(self.distances[u, v])
+
+    def path_within(self, u: int, v: int) -> Optional[List[int]]:
+        """A hop-optimal path u→v if ``v`` is inside u's neighborhood.
+
+        Returns None when v is outside the zone or unreachable — the caller
+        (local recovery, DSQ lookup) treats that as a failed table lookup.
+        """
+        if not self.contains(u, v):
+            return None
+        dist, parent = g.bfs_tree(self.topology.adj, u, max_hops=self.radius)
+        if dist[v] == g.UNREACHABLE:
+            return None
+        path = [v]
+        node = v
+        while node != u:
+            node = int(parent[node])
+            path.append(node)
+        path.reverse()
+        return path
+
+    def any_member_of(self, u: int, candidates) -> bool:
+        """True iff *any* id in ``candidates`` lies in u's neighborhood.
+
+        Vectorized form of the CSQ overlap checks (source / Contact_List /
+        Edge_List membership).
+        """
+        ids = np.asarray(list(candidates), dtype=np.int64)
+        if ids.size == 0:
+            return False
+        return bool(self.membership[u, ids].any())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NeighborhoodTables(R={self.radius}, epoch={self._epoch})"

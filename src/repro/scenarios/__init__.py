@@ -1,0 +1,29 @@
+"""Simulation scenarios: the paper's Table 1 and workload generators.
+
+:mod:`repro.scenarios.table1` encodes the eight (N, area, tx-range)
+scenarios of the paper's Table 1 together with the connectivity statistics
+the authors reported, so the reproduction can print paper-vs-measured side
+by side.  :mod:`repro.scenarios.factory` generates topologies for arbitrary
+configurations and the query workloads (random source/target batches) used
+by the comparison experiments.
+"""
+
+from repro.scenarios.table1 import Scenario, TABLE1_SCENARIOS, get_scenario
+from repro.scenarios.factory import (
+    build_topology,
+    query_workload,
+    FIG9_CONFIGS,
+    FIG15_CONFIGS,
+    Fig9Config,
+)
+
+__all__ = [
+    "Scenario",
+    "TABLE1_SCENARIOS",
+    "get_scenario",
+    "build_topology",
+    "query_workload",
+    "FIG9_CONFIGS",
+    "FIG15_CONFIGS",
+    "Fig9Config",
+]

@@ -1,0 +1,67 @@
+"""The eight simulation scenarios of the paper's Table 1.
+
+Each scenario is a (number of nodes, area, transmission range) triple; the
+paper reports the resulting number of links, mean node degree, network
+diameter and average hop count for the specific NS-2 topologies the authors
+generated.  We regenerate topologies from the same uniform-placement model
+and report our statistics next to theirs (they differ per random draw; the
+*scaling* across scenarios is what reproduces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.net.topology import Topology
+from repro.util.rng import spawn_rng
+
+__all__ = ["Scenario", "TABLE1_SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One row of Table 1 (inputs + the paper's reported statistics)."""
+
+    index: int
+    num_nodes: int
+    area: Tuple[float, float]
+    tx_range: float
+    #: statistics as printed in the paper (reference values)
+    paper_links: int
+    paper_degree: float
+    paper_diameter: int
+    paper_avg_hops: float
+
+    def build(self, seed: Optional[int] = 0) -> Topology:
+        """Generate a topology from this scenario's parameters."""
+        rng = spawn_rng(seed, "scenario", self.index)
+        return Topology.uniform_random(
+            self.num_nodes, self.area, self.tx_range, rng
+        )
+
+    @property
+    def label(self) -> str:
+        w, h = self.area
+        return f"N={self.num_nodes}, {w:g}x{h:g} m, tx={self.tx_range:g} m"
+
+
+#: Table 1 of the paper, verbatim.
+TABLE1_SCENARIOS: List[Scenario] = [
+    Scenario(1, 250, (500.0, 500.0), 50.0, 837, 6.75, 23, 9.378),
+    Scenario(2, 250, (710.0, 710.0), 50.0, 632, 5.223, 25, 9.614),
+    Scenario(3, 250, (1000.0, 1000.0), 50.0, 284, 2.57, 13, 3.76),
+    Scenario(4, 500, (710.0, 710.0), 30.0, 702, 4.32, 20, 5.8744),
+    Scenario(5, 500, (710.0, 710.0), 50.0, 1854, 7.416, 29, 11.641),
+    Scenario(6, 500, (710.0, 710.0), 70.0, 3564, 14.184, 17, 7.06),
+    Scenario(7, 1000, (710.0, 710.0), 50.0, 8019, 16.038, 24, 8.75),
+    Scenario(8, 1000, (1000.0, 1000.0), 50.0, 4062, 8.156, 37, 14.33),
+]
+
+
+def get_scenario(index: int) -> Scenario:
+    """Fetch a Table 1 scenario by its 1-based paper index."""
+    for sc in TABLE1_SCENARIOS:
+        if sc.index == index:
+            return sc
+    raise KeyError(f"no scenario {index}; Table 1 has scenarios 1..8")

@@ -1,0 +1,30 @@
+"""Shared utilities for the CARD reproduction.
+
+This package is deliberately small and dependency-free (NumPy only): seeded
+random-stream management (:mod:`repro.util.rng`), argument validation helpers
+(:mod:`repro.util.validation`), and plain-text rendering of tables and plots
+(:mod:`repro.util.tables`, :mod:`repro.util.ascii_plot`) used by the
+experiment harness and the runnable examples.
+"""
+
+from repro.util.rng import RngStreams, spawn_rng
+from repro.util.tables import format_table
+from repro.util.ascii_plot import ascii_histogram, ascii_series
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "RngStreams",
+    "spawn_rng",
+    "format_table",
+    "ascii_histogram",
+    "ascii_series",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+]

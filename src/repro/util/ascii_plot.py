@@ -1,0 +1,92 @@
+"""ASCII rendering of histograms and line series.
+
+The paper's figures are reachability *distributions* (histograms over 5 %
+bins, Figs 5-9) and *time/parameter series* (Figs 3, 4, 10-15).  These
+helpers render both as terminal text so examples and benchmarks can show the
+reproduced shape without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["ascii_histogram", "ascii_series"]
+
+_BAR = "█"
+
+
+def ascii_histogram(
+    labels: Sequence[object],
+    counts: Sequence[float],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Render a horizontal bar chart.
+
+    Parameters
+    ----------
+    labels, counts:
+        Parallel sequences; one bar per entry.
+    width:
+        Maximum bar width in characters (the largest count maps to it).
+    """
+    if len(labels) != len(counts):
+        raise ValueError("labels and counts must have equal length")
+    peak = max((float(c) for c in counts), default=0.0)
+    label_strs = [str(l) for l in labels]
+    lw = max((len(s) for s in label_strs), default=0)
+    lines = [] if title is None else [title]
+    for label, count in zip(label_strs, counts):
+        n = 0 if peak <= 0 else int(round(width * float(count) / peak))
+        lines.append(f"{label.rjust(lw)} | {_BAR * n} {float(count):g}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Mapping[str, Sequence[float]],
+    x: Sequence[object],
+    *,
+    height: int = 12,
+    width: Optional[int] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more aligned numeric series as a crude scatter plot.
+
+    Each series gets a distinct marker; points landing on the same cell keep
+    the marker of the last series drawn.  Intended for eyeballing shapes
+    (saturation, crossover), not for precise reading — exact values are
+    always printed in the accompanying table.
+    """
+    markers = "ox+*#@%&"
+    names = list(series)
+    if not names:
+        return title or ""
+    npts = len(x)
+    for name in names:
+        if len(series[name]) != npts:
+            raise ValueError(f"series {name!r} length != len(x)")
+    if width is None:
+        width = max(2 * npts, 20)
+    flat = [float(v) for name in names for v in series[name]]
+    lo, hi = min(flat, default=0.0), max(flat, default=1.0)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, name in enumerate(names):
+        mark = markers[si % len(markers)]
+        for i, v in enumerate(series[name]):
+            col = 0 if npts == 1 else int(round(i * (width - 1) / (npts - 1)))
+            row = int(round((float(v) - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - row][col] = mark
+    lines = [] if title is None else [title]
+    lines.append(f"{hi:.4g}".rjust(10))
+    for row in grid:
+        lines.append(" " * 10 + "|" + "".join(row))
+    lines.append(f"{lo:.4g}".rjust(10) + "+" + "-" * width)
+    lines.append(" " * 11 + f"x: {x[0]} .. {x[-1]}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

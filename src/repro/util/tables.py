@@ -1,0 +1,71 @@
+"""Plain-text table rendering.
+
+The benchmark harness prints every reproduced table/figure as text (the
+repository has no plotting dependency); this module renders aligned,
+GitHub-markdown-compatible tables from rows of heterogeneous values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_cell"]
+
+
+def format_cell(value: object, float_fmt: str = "{:.3g}") -> str:
+    """Render a single cell.
+
+    Floats use ``float_fmt``; everything else uses ``str``.  ``None`` renders
+    as an em-dash so missing sweep points stay visually distinct from zero.
+    """
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = "{:.3g}",
+    title: Optional[str] = None,
+) -> str:
+    """Return a monospace table with a markdown-style separator row.
+
+    Examples
+    --------
+    >>> print(format_table(["n", "x"], [[1, 0.5], [2, 0.25]]))
+    | n | x    |
+    |---|------|
+    | 1 | 0.5  |
+    | 2 | 0.25 |
+    """
+    str_rows: List[List[str]] = [
+        [format_cell(v, float_fmt) for v in row] for row in rows
+    ]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {ncols} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        padded = [c.ljust(widths[i]) for i, c in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Smoke tests for the CLI entry point and the quickstart example."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "table1" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig15" in capsys.readouterr().out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["table1", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "finished in" in out
+
+    def test_sources_flag_filtered_per_signature(self, capsys):
+        # table1 takes no num_sources; the CLI must not crash passing it
+        assert main(["table1", "--scale", "0.15", "--sources", "10"]) == 0
+
+    def test_experiment_with_sources(self, capsys):
+        assert main(["fig07", "--scale", "0.2", "--sources", "15"]) == 0
+        assert "NoC" in capsys.readouterr().out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["nope"])
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart_runs(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "examples" / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "mean reachability" in proc.stdout
+        assert "bootstrap" in proc.stdout

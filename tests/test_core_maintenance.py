@@ -1,0 +1,157 @@
+"""Tests for contact validation and local recovery (§III.C.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.maintenance import ContactMaintainer
+from repro.core.params import CARDParams
+from repro.core.state import Contact, ContactTable
+from repro.net.messages import MessageKind
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.routing.neighborhood import NeighborhoodTables
+from tests.conftest import line_topology
+
+
+def make_maintainer(topo, params):
+    net = Network(topo)
+    tables = NeighborhoodTables(topo, params.R)
+    return ContactMaintainer(net, tables, params), net, tables
+
+
+class TestIntactPath:
+    def test_validates_and_counts_hops(self):
+        topo = line_topology(12)
+        params = CARDParams(R=2, r=8)
+        m, net, _ = make_maintainer(topo, params)
+        contact = Contact(node=6, path=[0, 1, 2, 3, 4, 5, 6])
+        out = m.validate_contact(contact)
+        assert out.ok and out.reason == "validated"
+        assert out.msgs == 6
+        assert out.new_path == contact.path
+        assert net.stats.total(MessageKind.VALIDATION) == 6
+
+    def test_band_rule_lower(self):
+        topo = line_topology(12)
+        params = CARDParams(R=2, r=8)  # band [4, 8]
+        m, _, _ = make_maintainer(topo, params)
+        short = Contact(node=3, path=[0, 1, 2, 3])  # 3 hops < 2R
+        out = m.validate_contact(short)
+        assert not out.ok and out.reason == "lost-band"
+
+    def test_band_rule_upper(self):
+        topo = line_topology(14)
+        params = CARDParams(R=2, r=8)
+        m, _, _ = make_maintainer(topo, params)
+        long = Contact(node=10, path=list(range(11)))  # 10 hops > r
+        out = m.validate_contact(long)
+        assert not out.ok and out.reason == "lost-band"
+
+    def test_band_rule_disabled(self):
+        topo = line_topology(12)
+        params = CARDParams(R=2, r=8, enforce_band_on_validation=False)
+        m, _, _ = make_maintainer(topo, params)
+        short = Contact(node=3, path=[0, 1, 2, 3])
+        assert m.validate_contact(short).ok
+
+
+class TestLocalRecovery:
+    def build_moved_topology(self):
+        """A line 0-1-2-3 plus a helper node 4 that bridges 1 and 3.
+
+        tx = 50 m.  Initially: 0-1, 1-2, 2-3, 1-4, 4-2, 4-3 are links, so
+        the stored route [0,1,2,3] is valid and node 4 offers a 2-hop
+        detour 1→4→{2,3} that local recovery (zone radius R=2) can find
+        once the 1-2 link breaks.
+        """
+        pos = np.array(
+            [
+                [0.0, 0.0],     # 0
+                [40.0, 0.0],    # 1
+                [80.0, 0.0],    # 2
+                [120.0, 0.0],   # 3
+                [80.0, 28.0],   # 4 (bridge: 48.8 m from both 1 and 3)
+            ]
+        )
+        return Topology(pos, 50.0, (200.0, 100.0))
+
+    def test_recovery_splices_detour(self):
+        topo = self.build_moved_topology()
+        params = CARDParams(R=2, r=6, enforce_band_on_validation=False)
+        m, net, _ = make_maintainer(topo, params)
+        # break the 1-2 link: node 2 moves out of 1's range but stays
+        # reachable through the bridge (1→4→2), i.e. inside 1's R=2 zone
+        pos = np.array(topo.positions)
+        pos[2] = [110.0, 45.0]  # d(1,2)=83 (broken); d(4,2)=34.5; d(2,3)=46
+        topo.set_positions(pos)
+        contact = Contact(node=3, path=[0, 1, 2, 3])
+        out = m.validate_contact(contact)
+        assert out.ok, out.reason
+        # repaired path is walkable in the new topology
+        for a, b in zip(out.new_path, out.new_path[1:]):
+            assert topo.are_neighbors(a, b)
+        assert out.recoveries >= 1
+        assert out.new_path[0] == 0 and out.new_path[-1] == 3
+        assert 4 in out.new_path  # the detour actually used the bridge
+
+    def test_recovery_skips_to_later_node(self):
+        """When the next hop is fully lost, recovery targets a later path
+        node (the 'moved into the neighborhood of the previous node' case)."""
+        topo = self.build_moved_topology()
+        params = CARDParams(R=2, r=6, enforce_band_on_validation=False)
+        m, _, _ = make_maintainer(topo, params)
+        pos = np.array(topo.positions)
+        pos[2] = [200.0, 99.0]  # node 2 gone entirely
+        topo.set_positions(pos)
+        contact = Contact(node=3, path=[0, 1, 2, 3])
+        out = m.validate_contact(contact)
+        assert out.ok, out.reason
+        assert 2 not in out.new_path  # repaired around the lost node
+        for a, b in zip(out.new_path, out.new_path[1:]):
+            assert topo.are_neighbors(a, b)
+
+    def test_unsalvageable_is_lost(self):
+        topo = line_topology(8)
+        params = CARDParams(R=2, r=6, enforce_band_on_validation=False)
+        m, _, _ = make_maintainer(topo, params)
+        pos = np.array(topo.positions)
+        # break the line irreparably between 2 and 3
+        pos[3:, 0] += 120.0
+        pos[:, 0] = np.clip(pos[:, 0], 0, topo.area[0])
+        topo.set_positions(pos)
+        contact = Contact(node=5, path=[0, 1, 2, 3, 4, 5])
+        out = m.validate_contact(contact)
+        assert not out.ok and out.reason == "lost-broken"
+
+    def test_recovery_disabled_loses_contact(self):
+        topo = self.build_moved_topology()
+        params = CARDParams(
+            R=2, r=6, local_recovery=False, enforce_band_on_validation=False
+        )
+        m, _, _ = make_maintainer(topo, params)
+        pos = np.array(topo.positions)
+        pos[2] = [110.0, 45.0]
+        topo.set_positions(pos)
+        out = m.validate_contact(Contact(node=3, path=[0, 1, 2, 3]))
+        assert not out.ok and out.reason == "lost-broken"
+
+
+class TestValidateAll:
+    def test_survivors_updated_losers_dropped(self):
+        topo = line_topology(12)
+        params = CARDParams(R=2, r=8)
+        m, _, _ = make_maintainer(topo, params)
+        table = ContactTable(0)
+        good = Contact(node=5, path=[0, 1, 2, 3, 4, 5])
+        bad = Contact(node=2, path=[0, 1, 2])  # below band
+        table.add(good)
+        table.add(bad)
+        outcomes = m.validate_all(table)
+        assert len(outcomes) == 2
+        assert table.has(5) and not table.has(2)
+        assert good.validations == 1
+
+    def test_empty_table(self):
+        topo = line_topology(5)
+        m, _, _ = make_maintainer(topo, CARDParams(R=2, r=4))
+        assert m.validate_all(ContactTable(0)) == []

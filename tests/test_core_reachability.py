@@ -1,0 +1,132 @@
+"""Tests for the reachability metric and its distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reachability import (
+    DIST_BIN_EDGES,
+    contact_ids_map,
+    reachability_all,
+    reachability_distribution,
+    reachability_percent,
+)
+from repro.core.state import Contact, ContactTable
+
+
+def line_membership(n, radius):
+    """Membership matrix of an n-node line graph."""
+    idx = np.arange(n)
+    return np.abs(idx[:, None] - idx[None, :]) <= radius
+
+
+class TestReachabilityPercent:
+    def test_no_contacts_is_neighborhood_only(self):
+        m = line_membership(20, 2)
+        r = reachability_percent(m, {}, source=10, depth=1)
+        assert r == pytest.approx(100.0 * 5 / 20)
+
+    def test_one_contact_unions_neighborhoods(self):
+        m = line_membership(20, 2)
+        r = reachability_percent(m, {10: [16]}, source=10, depth=1)
+        # 8..12 plus 14..18 = 10 nodes
+        assert r == pytest.approx(50.0)
+
+    def test_overlapping_contact_adds_less(self):
+        m = line_membership(20, 2)
+        far = reachability_percent(m, {10: [16]}, 10, 1)
+        near = reachability_percent(m, {10: [13]}, 10, 1)
+        assert near < far
+
+    def test_depth_zero_ignores_contacts(self):
+        m = line_membership(20, 2)
+        r = reachability_percent(m, {10: [16]}, 10, depth=0)
+        assert r == pytest.approx(25.0)
+
+    def test_depth_two_follows_contacts_of_contacts(self):
+        m = line_membership(30, 2)
+        contacts = {0: [6], 6: [12]}
+        d1 = reachability_percent(m, contacts, 0, 1)
+        d2 = reachability_percent(m, contacts, 0, 2)
+        assert d2 > d1
+        # N(0)={0,1,2} (edge of the line), N(6)={4..8}, N(12)={10..14}
+        assert d2 == pytest.approx(100.0 * 13 / 30)
+
+    def test_contact_cycle_terminates(self):
+        m = line_membership(20, 2)
+        contacts = {0: [6], 6: [0]}
+        r = reachability_percent(m, contacts, 0, depth=5)
+        # N(0)={0,1,2} ∪ N(6)={4..8} = 8 nodes; the cycle adds nothing
+        assert r == pytest.approx(100.0 * 8 / 20)
+
+    def test_monotone_in_depth(self):
+        m = line_membership(40, 2)
+        contacts = {i: [i + 6] for i in range(0, 34)}
+        vals = [reachability_percent(m, contacts, 0, d) for d in range(5)]
+        assert vals == sorted(vals)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            reachability_percent(line_membership(5, 1), {}, 0, depth=-1)
+
+
+class TestReachabilityAll:
+    def test_shape_and_subset(self):
+        m = line_membership(10, 1)
+        allv = reachability_all(m, {}, None, 1)
+        assert allv.shape == (10,)
+        subset = reachability_all(m, {}, [0, 5], 1)
+        assert subset.shape == (2,)
+        assert subset[0] == allv[0] and subset[1] == allv[5]
+
+
+class TestDistribution:
+    def test_mass_conserved(self):
+        p = np.array([3.0, 17.0, 55.0, 100.0, 0.0])
+        counts = reachability_distribution(p)
+        assert counts.sum() == 5
+        assert counts.shape == (20,)
+
+    def test_bin_placement_right_closed(self):
+        counts = reachability_distribution(np.array([5.0]))
+        assert counts[0] == 1  # 5% belongs to the (0,5] bin
+        counts = reachability_distribution(np.array([5.01]))
+        assert counts[1] == 1
+
+    def test_zero_lands_in_first_bin(self):
+        assert reachability_distribution(np.array([0.0]))[0] == 1
+
+    def test_hundred_lands_in_last_bin(self):
+        assert reachability_distribution(np.array([100.0]))[19] == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            reachability_distribution(np.array([101.0]))
+        with pytest.raises(ValueError):
+            reachability_distribution(np.array([-1.0]))
+
+    def test_bin_edges_shape(self):
+        assert list(DIST_BIN_EDGES) == list(range(5, 105, 5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.0, 100.0), min_size=0, max_size=50))
+    def test_property_mass_conserved(self, values):
+        counts = reachability_distribution(np.array(values))
+        assert counts.sum() == len(values)
+
+
+class TestContactIdsMap:
+    def test_prefix_truncation(self):
+        t = ContactTable(0)
+        for node in (5, 9, 13):
+            t.add(Contact(node=node, path=[0, node]))
+        full = contact_ids_map({0: t})
+        assert full[0] == (5, 9, 13)
+        cut = contact_ids_map({0: t}, max_contacts=2)
+        assert cut[0] == (5, 9)
+
+    def test_zero_prefix(self):
+        t = ContactTable(0)
+        t.add(Contact(node=5, path=[0, 5]))
+        assert contact_ids_map({0: t}, max_contacts=0)[0] == ()

@@ -1,0 +1,150 @@
+"""Tests for topology liveness and the failure injector."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import CARDParams
+from repro.core.protocol import CARDProtocol
+from repro.des.engine import Simulator
+from repro.net.failures import FailureInjector
+from repro.net.network import Network
+from tests.conftest import grid_topology, line_topology, random_topology
+
+
+class TestTopologyLiveness:
+    def test_failed_node_loses_links(self, line10):
+        line10.set_active(5, False)
+        assert len(line10.adj[5]) == 0
+        assert 5 not in line10.adj[4]
+        assert 5 not in line10.adj[6]
+
+    def test_failure_bumps_epoch_once(self, line10):
+        e0 = line10.epoch
+        line10.set_active(3, False)
+        line10.set_active(3, False)  # no-op repeat
+        assert line10.epoch == e0 + 1
+
+    def test_recovery_restores_links(self, line10):
+        line10.set_active(5, False)
+        line10.set_active(5, True)
+        assert list(line10.adj[5]) == [4, 6]
+
+    def test_fail_nodes_bulk(self, grid5):
+        e0 = grid5.epoch
+        grid5.fail_nodes([0, 1, 2])
+        assert grid5.epoch == e0 + 1
+        assert not grid5.is_active(0)
+        assert (~grid5.active).sum() == 3
+
+    def test_active_mask_readonly(self, line10):
+        with pytest.raises(ValueError):
+            line10.active[0] = False
+
+    def test_failed_node_splits_network(self, line10):
+        line10.set_active(5, False)
+        dist = line10.hop_distances()
+        assert dist[0, 9] == -1
+
+    def test_positions_survive_failure(self, line10):
+        before = np.array(line10.positions)
+        line10.set_active(5, False)
+        assert (line10.positions == before).all()
+
+
+class TestFailureInjector:
+    def test_scheduled_failure_applies_at_time(self, line10):
+        sim = Simulator()
+        inj = FailureInjector(sim, line10)
+        inj.fail_at(3.0, 5)
+        sim.run(until=2.0)
+        assert line10.is_active(5)
+        sim.run(until=4.0)
+        assert not line10.is_active(5)
+        assert inj.log == [(3.0, 5, False)]
+
+    def test_recovery_cycle(self, line10):
+        sim = Simulator()
+        inj = FailureInjector(sim, line10)
+        inj.fail_at(1.0, 4)
+        inj.recover_at(2.0, 4)
+        sim.run(until=5.0)
+        assert line10.is_active(4)
+        assert [alive for _, _, alive in inj.log] == [False, True]
+
+    def test_on_change_callbacks(self, line10):
+        sim = Simulator()
+        calls = []
+        inj = FailureInjector(sim, line10, on_change=[lambda: calls.append(sim.now)])
+        inj.fail_at(1.5, 2)
+        sim.run(until=3.0)
+        assert calls == [1.5]
+
+    def test_fail_now_outside_sim(self, line10):
+        inj = FailureInjector(Simulator(), line10)
+        inj.fail_now(7)
+        assert not line10.is_active(7)
+        inj.recover_now(7)
+        assert line10.is_active(7)
+
+    def test_random_failures_bounded_by_horizon(self, grid5):
+        sim = Simulator()
+        inj = FailureInjector(sim, grid5)
+        count = inj.schedule_random_failures(
+            np.random.default_rng(0), rate=2.0, horizon=5.0
+        )
+        assert count > 0
+        sim.run(until=10.0)
+        assert len(inj.failed_nodes) > 0
+        for t, _, _ in inj.log:
+            assert t < 5.0
+
+    def test_random_failures_with_repair(self, grid5):
+        sim = Simulator()
+        inj = FailureInjector(sim, grid5)
+        inj.schedule_random_failures(
+            np.random.default_rng(1), rate=3.0, horizon=4.0, mttr=0.5
+        )
+        sim.run(until=50.0)
+        # with short repair times, most nodes come back
+        assert len(inj.failed_nodes) <= 3
+
+    def test_cancel_all(self, line10):
+        sim = Simulator()
+        inj = FailureInjector(sim, line10)
+        inj.fail_at(1.0, 3)
+        inj.cancel_all()
+        sim.run(until=5.0)
+        assert line10.is_active(3)
+
+    def test_rate_validation(self, line10):
+        inj = FailureInjector(Simulator(), line10)
+        with pytest.raises(ValueError):
+            inj.schedule_random_failures(
+                np.random.default_rng(0), rate=0.0, horizon=1.0
+            )
+
+
+class TestCARDUnderFailures:
+    def test_validation_detects_failed_relay(self):
+        """A contact whose route crosses a dead node is repaired or lost."""
+        topo = random_topology(n=150, area=(400.0, 400.0), tx=70.0, seed=2)
+        net = Network(topo)
+        card = CARDProtocol(net, CARDParams(R=2, r=7, noc=3), seed=2)
+        card.bootstrap(sources=range(40))
+        # kill every 10th node
+        topo.fail_nodes(range(0, 150, 10))
+        alive_sources = [s for s in range(40) if topo.is_active(s)]
+        for s in alive_sources:
+            outcomes = card.maintainer.validate_all(card.table_for(s))
+            for out in outcomes:
+                if out.ok:
+                    # surviving routes never traverse dead nodes
+                    assert all(topo.is_active(v) for v in out.new_path)
+
+    def test_queries_avoid_dead_targets(self):
+        topo = random_topology(n=120, area=(350.0, 350.0), tx=65.0, seed=3)
+        card = CARDProtocol(Network(topo), CARDParams(R=2, r=7, noc=3, depth=2), seed=3)
+        card.bootstrap()
+        topo.set_active(60, False)
+        res = card.query(0, 60, max_depth=2)
+        assert not res.success  # dead nodes are not in anyone's zone

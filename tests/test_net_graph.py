@@ -1,0 +1,193 @@
+"""Tests for hop-count graph algorithms, including networkx cross-checks."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import graph as g
+from tests.conftest import grid_topology, line_topology, random_topology
+
+
+def to_nx(adj):
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(adj)))
+    for u, nbrs in enumerate(adj):
+        for v in nbrs:
+            graph.add_edge(u, int(v))
+    return graph
+
+
+def random_adj(n, p, seed):
+    rng = np.random.default_rng(seed)
+    buckets = [[] for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                buckets[i].append(j)
+                buckets[j].append(i)
+    return [np.array(sorted(b), dtype=np.int64) for b in buckets]
+
+
+class TestBfs:
+    def test_line_distances(self, line10):
+        dist = g.bfs_hops(line10.adj, 0)
+        assert list(dist) == list(range(10))
+
+    def test_max_hops_truncation(self, line10):
+        dist = g.bfs_hops(line10.adj, 0, max_hops=3)
+        assert list(dist[:4]) == [0, 1, 2, 3]
+        assert all(d == g.UNREACHABLE for d in dist[4:])
+
+    def test_unreachable_marked(self):
+        topo = line_topology(4, spacing=100.0, tx=50.0)  # no links
+        dist = g.bfs_hops(topo.adj, 0)
+        assert dist[0] == 0
+        assert all(d == g.UNREACHABLE for d in dist[1:])
+
+    def test_bfs_tree_parents_consistent(self, grid5):
+        dist, parent = g.bfs_tree(grid5.adj, 12)
+        for v in range(25):
+            if v == 12:
+                assert parent[v] == 12
+            else:
+                p = int(parent[v])
+                assert dist[v] == dist[p] + 1
+
+    def test_matches_networkx(self):
+        adj = random_adj(40, 0.1, 5)
+        ref = nx.single_source_shortest_path_length(to_nx(adj), 0)
+        dist = g.bfs_hops(adj, 0)
+        for v in range(40):
+            assert dist[v] == ref.get(v, g.UNREACHABLE)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(2, 30), p=st.floats(0.0, 0.5), seed=st.integers(0, 999))
+    def test_property_matches_networkx(self, n, p, seed):
+        adj = random_adj(n, p, seed)
+        source = seed % n
+        ref = nx.single_source_shortest_path_length(to_nx(adj), source)
+        dist = g.bfs_hops(adj, source)
+        for v in range(n):
+            assert dist[v] == ref.get(v, g.UNREACHABLE)
+
+
+class TestHopDistanceMatrix:
+    def test_symmetric_and_zero_diagonal(self, rand_topo):
+        dist = g.hop_distance_matrix(rand_topo.adj)
+        assert (dist == dist.T).all()
+        assert (np.diag(dist) == 0).all()
+
+    def test_matches_per_source_bfs(self, grid5):
+        dist = g.hop_distance_matrix(grid5.adj)
+        for s in range(25):
+            assert (dist[s] == g.bfs_hops(grid5.adj, s)).all()
+
+    def test_empty_graph(self):
+        assert g.hop_distance_matrix([]).shape == (0, 0)
+
+    def test_triangle_inequality(self, rand_topo):
+        dist = g.hop_distance_matrix(rand_topo.adj)
+        n = dist.shape[0]
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            a, b, c = rng.integers(0, n, size=3)
+            if dist[a, b] >= 0 and dist[b, c] >= 0:
+                assert dist[a, c] != g.UNREACHABLE
+                assert dist[a, c] <= dist[a, b] + dist[b, c]
+
+
+class TestNeighborhoodSets:
+    def test_self_always_member(self, grid5):
+        m = g.neighborhood_sets(g.hop_distance_matrix(grid5.adj), 2)
+        assert np.diag(m).all()
+
+    def test_radius_zero_is_identity(self, grid5):
+        m = g.neighborhood_sets(g.hop_distance_matrix(grid5.adj), 0)
+        assert (m == np.eye(25, dtype=bool)).all()
+
+    def test_monotone_in_radius(self, rand_topo):
+        dist = g.hop_distance_matrix(rand_topo.adj)
+        m1 = g.neighborhood_sets(dist, 1)
+        m3 = g.neighborhood_sets(dist, 3)
+        assert (m3 | m1 == m3).all()
+
+    def test_unreachable_excluded(self):
+        topo = line_topology(4, spacing=100.0, tx=50.0)
+        m = g.neighborhood_sets(g.hop_distance_matrix(topo.adj), 5)
+        assert m.sum() == 4  # only self-membership
+
+
+class TestComponents:
+    def test_connected_grid_single_component(self, grid5):
+        comps = g.connected_components(grid5.adj)
+        assert len(comps) == 1
+        assert len(comps[0]) == 25
+
+    def test_isolated_nodes(self):
+        topo = line_topology(3, spacing=100.0, tx=50.0)
+        comps = g.connected_components(topo.adj)
+        assert len(comps) == 3
+
+    def test_largest_first(self):
+        adj = [np.array([1]), np.array([0]), np.array([3]), np.array([2, 4]), np.array([3])]
+        comps = g.connected_components(adj)
+        assert len(comps[0]) == 3 and len(comps[1]) == 2
+
+    def test_matches_networkx_count(self):
+        adj = random_adj(35, 0.05, 11)
+        assert len(g.connected_components(adj)) == nx.number_connected_components(
+            to_nx(adj)
+        )
+
+
+class TestGraphStats:
+    def test_line_stats(self, line10):
+        st_ = g.graph_stats(line10.adj)
+        assert st_.num_links == 9
+        assert st_.mean_degree == pytest.approx(1.8)
+        assert st_.diameter == 9
+        assert st_.giant_size == 10
+
+    def test_diameter_matches_networkx(self, rand_topo):
+        st_ = g.graph_stats(rand_topo.adj)
+        giant = max(nx.connected_components(to_nx(rand_topo.adj)), key=len)
+        sub = to_nx(rand_topo.adj).subgraph(giant)
+        assert st_.diameter == nx.diameter(sub)
+
+    def test_mean_hops_matches_networkx(self, grid5):
+        st_ = g.graph_stats(grid5.adj)
+        assert st_.mean_hops == pytest.approx(
+            nx.average_shortest_path_length(to_nx(grid5.adj))
+        )
+
+    def test_empty(self):
+        st_ = g.graph_stats([])
+        assert st_.num_nodes == 0 and st_.diameter == 0
+
+    def test_row_shape(self, line10):
+        assert len(g.graph_stats(line10.adj).row()) == 4
+
+
+class TestShortestPath:
+    def test_path_endpoints_and_length(self, grid5):
+        path = g.shortest_path(grid5.adj, 0, 24)
+        assert path[0] == 0 and path[-1] == 24
+        assert len(path) - 1 == 8  # manhattan distance on 5x5 grid
+
+    def test_path_edges_valid(self, rand_topo):
+        dist = g.hop_distance_matrix(rand_topo.adj)
+        pairs = np.argwhere(dist > 0)[:50]
+        for a, b in pairs:
+            path = g.shortest_path(rand_topo.adj, int(a), int(b))
+            assert len(path) - 1 == dist[a, b]
+            for u, v in zip(path, path[1:]):
+                assert v in rand_topo.adj[u]
+
+    def test_self_path(self, grid5):
+        assert g.shortest_path(grid5.adj, 3, 3) == [3]
+
+    def test_disconnected_returns_none(self):
+        topo = line_topology(2, spacing=100.0, tx=50.0)
+        assert g.shortest_path(topo.adj, 0, 1) is None

@@ -1,0 +1,170 @@
+"""Tests for the scoped DSDV protocol: convergence, scoping, link breaks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.engine import Simulator
+from repro.net import graph as g
+from repro.net.messages import MessageKind
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.routing.dsdv import INFINITE_METRIC, RouteEntry, ScopedDSDV
+from tests.conftest import grid_topology, line_topology, random_topology
+
+
+def converge(topo, radius, periods=None):
+    """Run DSDV on a static topology until tables stabilize."""
+    sim = Simulator()
+    net = Network(topo, sim=sim)
+    dsdv = ScopedDSDV(net, radius, period=1.0, jitter=0.0)
+    # R periods propagate knowledge R hops; add margin
+    horizon = float((periods if periods is not None else radius + 2))
+    sim.run(until=horizon)
+    return net, dsdv
+
+
+class TestConvergence:
+    def test_line_converges_to_bfs(self, line10):
+        _, dsdv = converge(line10, radius=3)
+        truth = g.hop_distance_matrix(line10.adj)
+        got = dsdv.converged_distance_matrix()
+        want = np.where((truth >= 0) & (truth <= 3), truth, -1)
+        assert (got == want).all()
+
+    def test_grid_converges_to_bfs(self, grid5):
+        _, dsdv = converge(grid5, radius=2)
+        truth = g.hop_distance_matrix(grid5.adj)
+        got = dsdv.converged_distance_matrix()
+        want = np.where((truth >= 0) & (truth <= 2), truth, -1)
+        assert (got == want).all()
+
+    def test_random_topology_converges(self, rand_topo):
+        _, dsdv = converge(rand_topo, radius=3)
+        truth = g.hop_distance_matrix(rand_topo.adj)
+        got = dsdv.converged_distance_matrix()
+        want = np.where((truth >= 0) & (truth <= 3), truth, -1)
+        assert (got == want).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500), radius=st.integers(1, 4))
+    def test_property_converges(self, seed, radius):
+        topo = random_topology(n=40, area=(200.0, 200.0), tx=60.0, seed=seed)
+        _, dsdv = converge(topo, radius=radius)
+        truth = g.hop_distance_matrix(topo.adj)
+        got = dsdv.converged_distance_matrix()
+        want = np.where((truth >= 0) & (truth <= radius), truth, -1)
+        assert (got == want).all()
+
+
+class TestScoping:
+    def test_no_knowledge_beyond_radius(self, line10):
+        _, dsdv = converge(line10, radius=2)
+        # node 0 must know 0..2 and nothing else
+        assert set(int(d) for d in dsdv.members(0)) == {0, 1, 2}
+
+    def test_edge_nodes_from_tables(self, line10):
+        _, dsdv = converge(line10, radius=2)
+        assert set(int(e) for e in dsdv.edge_nodes(5)) == {3, 7}
+
+    def test_contains_matches_oracle(self, grid5):
+        from repro.routing.neighborhood import NeighborhoodTables
+
+        _, dsdv = converge(grid5, radius=2)
+        oracle = NeighborhoodTables(grid5, radius=2)
+        for u in range(25):
+            for v in range(25):
+                assert dsdv.contains(u, v) == oracle.contains(u, v)
+
+
+class TestPaths:
+    def test_path_within_walkable(self, grid5):
+        _, dsdv = converge(grid5, radius=2)
+        path = dsdv.path_within(0, 6)  # diagonal neighbor at 2 hops
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 6
+        for a, b in zip(path, path[1:]):
+            assert grid5.are_neighbors(a, b)
+
+    def test_path_outside_zone_none(self, line10):
+        _, dsdv = converge(line10, radius=2)
+        assert dsdv.path_within(0, 7) is None
+
+    def test_path_length_matches_metric(self, rand_topo):
+        _, dsdv = converge(rand_topo, radius=3)
+        for u in range(0, rand_topo.num_nodes, 7):
+            for v in dsdv.members(u)[:5]:
+                v = int(v)
+                if v == u:
+                    continue
+                path = dsdv.path_within(u, v)
+                assert path is not None
+                assert len(path) - 1 == dsdv.hops(u, v)
+
+
+class TestLinkBreaks:
+    def test_break_poisons_route(self):
+        topo = line_topology(4)
+        sim = Simulator()
+        net = Network(topo, sim=sim)
+        dsdv = ScopedDSDV(net, radius=3, period=1.0, jitter=0.0)
+        sim.run(until=5.0)
+        assert dsdv.contains(0, 3)
+        # break the 1-2 link by moving nodes 2,3 far away (x-axis)
+        pos = np.array(topo.positions)
+        pos[2][0] = topo.area[0] - 1.0
+        pos[3][0] = topo.area[0]
+        topo.set_positions(pos)
+        dsdv.on_topology_change()
+        sim.run(until=5.5)  # let the triggered update propagate one hop
+        assert not dsdv.contains(0, 2)
+        assert dsdv.tables[0][2].metric >= INFINITE_METRIC
+
+    def test_reconverges_after_move(self):
+        topo = line_topology(5)
+        sim = Simulator()
+        net = Network(topo, sim=sim)
+        dsdv = ScopedDSDV(net, radius=4, period=1.0, jitter=0.0)
+        sim.run(until=6.0)
+        # shift node 4 adjacent to node 0 (positions swap ends)
+        pos = np.array(topo.positions)
+        pos[4] = [pos[0][0] + 10.0, pos[0][1]]
+        topo.set_positions(pos)
+        dsdv.on_topology_change()
+        sim.run(until=14.0)
+        truth = g.hop_distance_matrix(topo.adj)
+        got = dsdv.converged_distance_matrix()
+        want = np.where((truth >= 0) & (truth <= 4), truth, -1)
+        assert (got == want).all()
+
+    def test_routing_messages_counted(self, line10):
+        net, _ = converge(line10, radius=2)
+        assert net.stats.total(MessageKind.ROUTING_UPDATE) > 0
+
+
+class TestMisc:
+    def test_route_entry_validity(self):
+        assert RouteEntry(1, 2, 3, 0).valid
+        assert not RouteEntry(1, 2, INFINITE_METRIC, 1).valid
+
+    def test_stop_halts_advertisements(self, line10):
+        sim = Simulator()
+        net = Network(line10, sim=sim)
+        dsdv = ScopedDSDV(net, radius=2, period=1.0, jitter=0.0)
+        sim.run(until=2.0)
+        count = net.stats.total(MessageKind.ROUTING_UPDATE)
+        dsdv.stop()
+        sim.run(until=10.0)
+        assert net.stats.total(MessageKind.ROUTING_UPDATE) == count
+
+    def test_jitter_requires_rng_passthrough(self, line10):
+        net = Network(line10)
+        with pytest.raises(ValueError):
+            ScopedDSDV(net, radius=2, jitter=0.2, rng=None)
+
+    def test_own_entry_always_present(self, line10):
+        _, dsdv = converge(line10, radius=2)
+        for u in range(10):
+            e = dsdv.table(u)[u]
+            assert e.metric == 0 and e.next_hop == u

@@ -1,0 +1,102 @@
+"""Tests for the neighborhood oracle tables."""
+
+import numpy as np
+import pytest
+
+from repro.net import graph as g
+from repro.routing.neighborhood import NeighborhoodTables
+from tests.conftest import grid_topology, line_topology, random_topology
+
+
+class TestMembership:
+    def test_line_membership(self, line10):
+        t = NeighborhoodTables(line10, radius=2)
+        assert t.contains(0, 0)
+        assert t.contains(0, 2)
+        assert not t.contains(0, 3)
+
+    def test_members_include_self(self, grid5):
+        t = NeighborhoodTables(grid5, radius=1)
+        assert 12 in t.members(12)
+        assert set(t.members(12)) == {7, 11, 12, 13, 17}
+
+    def test_size(self, line10):
+        t = NeighborhoodTables(line10, radius=3)
+        assert t.size(0) == 4   # 0,1,2,3
+        assert t.size(5) == 7   # 2..8
+
+    def test_any_member_of(self, line10):
+        t = NeighborhoodTables(line10, radius=2)
+        assert t.any_member_of(0, [9, 2])
+        assert not t.any_member_of(0, [8, 9])
+        assert not t.any_member_of(0, [])
+
+    def test_invalid_radius(self, line10):
+        with pytest.raises((ValueError, TypeError)):
+            NeighborhoodTables(line10, radius=0)
+        with pytest.raises(TypeError):
+            NeighborhoodTables(line10, radius=2.5)
+
+
+class TestEdgeNodes:
+    def test_line_edges(self, line10):
+        t = NeighborhoodTables(line10, radius=2)
+        assert set(t.edge_nodes(5)) == {3, 7}
+        assert set(t.edge_nodes(0)) == {2}
+        assert set(t.edge_nodes(9)) == {7}
+
+    def test_edges_at_exact_radius(self, grid5):
+        t = NeighborhoodTables(grid5, radius=2)
+        dist = g.hop_distance_matrix(grid5.adj)
+        for u in range(25):
+            assert set(t.edge_nodes(u)) == set(np.flatnonzero(dist[u] == 2))
+
+    def test_isolated_node_no_edges(self):
+        topo = line_topology(3, spacing=100.0, tx=50.0)
+        t = NeighborhoodTables(topo, radius=2)
+        assert len(t.edge_nodes(0)) == 0
+
+
+class TestPaths:
+    def test_path_within_valid(self, grid5):
+        t = NeighborhoodTables(grid5, radius=3)
+        path = t.path_within(0, 2)
+        assert path[0] == 0 and path[-1] == 2 and len(path) == 3
+        for a, b in zip(path, path[1:]):
+            assert grid5.are_neighbors(a, b)
+
+    def test_path_outside_zone_none(self, line10):
+        t = NeighborhoodTables(line10, radius=2)
+        assert t.path_within(0, 5) is None
+
+    def test_path_to_self(self, line10):
+        t = NeighborhoodTables(line10, radius=2)
+        assert t.path_within(4, 4) == [4]
+
+    def test_hops(self, line10):
+        t = NeighborhoodTables(line10, radius=3)
+        assert t.hops(0, 3) == 3
+        assert t.hops(0, 9) == 9  # distances matrix is global
+
+
+class TestFreshness:
+    def test_refresh_after_topology_change(self):
+        topo = line_topology(4)
+        t = NeighborhoodTables(topo, radius=1)
+        assert t.contains(0, 1)
+        pos = np.array(topo.positions)
+        pos[1][0] = topo.area[0]  # node 1 moves far away
+        topo.set_positions(pos)
+        assert not t.contains(0, 1)
+
+    def test_membership_matrix_shape(self, rand_topo):
+        t = NeighborhoodTables(rand_topo, radius=2)
+        n = rand_topo.num_nodes
+        assert t.membership.shape == (n, n)
+        assert t.membership.dtype == bool
+
+    def test_membership_symmetric(self, rand_topo):
+        # unit-disk links are symmetric, so hop distances and membership are
+        t = NeighborhoodTables(rand_topo, radius=2)
+        m = t.membership
+        assert (m == m.T).all()

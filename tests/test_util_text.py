@@ -1,0 +1,84 @@
+"""Tests for the text renderers (tables, ascii plots)."""
+
+import pytest
+
+from repro.util.ascii_plot import ascii_histogram, ascii_series
+from repro.util.tables import format_cell, format_table
+
+
+class TestFormatCell:
+    def test_none_renders_dash(self):
+        assert format_cell(None) == "—"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_uses_format(self):
+        assert format_cell(0.123456) == "0.123"
+        assert format_cell(0.123456, "{:.1f}") == "0.1"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["n", "value"], [[1, 10], [22, 3]])
+        lines = out.splitlines()
+        assert lines[0] == "| n  | value |"
+        assert lines[1].startswith("|--")
+        assert len({len(l) for l in lines}) == 1  # all rows equal width
+
+    def test_title_prepended(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="2 cells"):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "| a | b |" in out
+
+
+class TestAsciiHistogram:
+    def test_peak_gets_full_width(self):
+        out = ascii_histogram(["a", "b"], [10, 5], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_counts(self):
+        out = ascii_histogram(["a"], [0])
+        assert "█" not in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(["a"], [1, 2])
+
+    def test_title(self):
+        assert ascii_histogram([], [], title="H").splitlines()[0] == "H"
+
+
+class TestAsciiSeries:
+    def test_contains_markers_and_legend(self):
+        out = ascii_series({"s1": [1, 2, 3], "s2": [3, 2, 1]}, [0, 1, 2])
+        assert "o=s1" in out and "x=s2" in out
+        assert "o" in out and "x" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_series({"flat": [5, 5, 5]}, [1, 2, 3])
+        assert "flat" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_series({"s": [1, 2]}, [0])
+
+    def test_empty_series_dict(self):
+        assert ascii_series({}, [], title="T") == "T"
+
+    def test_single_point(self):
+        out = ascii_series({"s": [7.0]}, [0])
+        assert "o" in out
