@@ -24,6 +24,9 @@ Package layout
 ``repro.scenarios``  — Table 1 scenarios and workload generation
 ``repro.metrics``    — comparison and summary helpers
 ``repro.experiments``— one module per paper table/figure
+``repro.campaign``   — declarative sweep grids run over a process pool
+                       with a persistent, resumable JSONL result store
+                       (``python -m repro.campaign``)
 """
 
 from repro._version import __version__
@@ -56,8 +59,18 @@ from repro.discovery import (
     FloodingDiscovery,
 )
 from repro.scenarios import TABLE1_SCENARIOS, build_topology, get_scenario
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    TopologySpec,
+)
 
 __all__ = [
+    "CampaignRunner",
+    "CampaignSpec",
+    "ResultStore",
+    "TopologySpec",
     "__version__",
     "CARDParams",
     "CARDProtocol",

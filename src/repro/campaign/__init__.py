@@ -1,0 +1,95 @@
+"""Parallel, resumable experiment campaigns with a persistent result store.
+
+The paper's evaluation is a grid — scenarios × protocol parameters ×
+seeds — and this package turns such grids into first-class, declarative
+objects instead of bespoke per-figure loops:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` describes the grid;
+  every expanded :class:`CellSpec` is content-hashed for stable identity;
+* :mod:`repro.campaign.runner` — :class:`CampaignRunner` fans cells out
+  over a process pool (``n_workers=1`` = deterministic in-process run);
+* :mod:`repro.campaign.store` — :class:`ResultStore`, an append-only
+  JSONL store giving crash-safe persistence, cache hits and ``resume``;
+* :mod:`repro.campaign.aggregate` — group-by / mean / CI reduction of
+  stored cells back into :class:`~repro.experiments.base.ExperimentResult`
+  tables;
+* :mod:`repro.campaign.figures` — ``fig07``/``table1`` expressed as
+  campaign specs, matching the legacy runners' numbers;
+* ``python -m repro.campaign run|resume|status|report <spec.json>`` —
+  the command-line workflow (see ``--help``; ``example`` emits a starter
+  spec).
+
+Quickstart
+----------
+>>> from repro.campaign import CampaignSpec, TopologySpec, CampaignRunner
+>>> spec = CampaignSpec(
+...     name="noc-sweep",
+...     topologies=(TopologySpec(kind="standard", num_nodes=80),),
+...     base_params={"R": 2, "r": 6},
+...     grid={"noc": [2, 4]},
+...     seeds=(0, 1),
+...     num_sources=10,
+... )
+>>> report = CampaignRunner(spec).run()
+>>> (report.executed, report.cached, report.ok)
+(4, 0, True)
+"""
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    CellSpec,
+    TopologySpec,
+    content_hash,
+)
+from repro.campaign.store import ResultStore
+from repro.campaign.runner import (
+    CampaignReport,
+    CampaignRunner,
+    CellOutcome,
+    execute_cell,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "CellSpec",
+    "TopologySpec",
+    "content_hash",
+    "ResultStore",
+    "CampaignRunner",
+    "CampaignReport",
+    "CellOutcome",
+    "execute_cell",
+    # resolved lazily: aggregate/figures pull in the experiment harness
+    "aggregate",
+    "aggregate_table",
+    "stored_records",
+    "unique_cells",
+    "figures",
+    "run_fig07_campaign",
+    "run_table1_campaign",
+]
+
+_LAZY_AGGREGATE = ("aggregate_table", "stored_records", "unique_cells")
+_LAZY_FIGURES = ("run_fig07_campaign", "run_table1_campaign")
+
+
+def __getattr__(name):
+    """Lazy access to the harness-coupled submodules (PEP 562).
+
+    ``aggregate`` and ``figures`` import the experiment harness (for
+    ``ExperimentResult`` and the shared table assembly), and the
+    harness's registry imports ``figures`` back to register the campaign
+    ports.  Deferring these edges keeps both import orders
+    (``import repro.campaign`` first, or ``import repro.experiments``
+    first) cycle-free — and keeps plain ``import repro`` from loading
+    every ``exp_*`` module.
+    """
+    if name == "aggregate" or name in _LAZY_AGGREGATE:
+        import repro.campaign.aggregate as aggregate
+
+        return aggregate if name == "aggregate" else getattr(aggregate, name)
+    if name == "figures" or name in _LAZY_FIGURES:
+        import repro.campaign.figures as figures
+
+        return figures if name == "figures" else getattr(figures, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

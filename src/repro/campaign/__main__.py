@@ -1,0 +1,213 @@
+"""Command-line campaign workflow: ``python -m repro.campaign <cmd>``.
+
+Examples
+--------
+Emit a starter spec (3 Table 1 scenarios × 3 seeds), run it on 4
+workers, then prove the second invocation is pure cache::
+
+    python -m repro.campaign example --out sweep.json
+    python -m repro.campaign run sweep.json --workers 4
+    python -m repro.campaign resume sweep.json      # 0 executed
+    python -m repro.campaign status sweep.json
+    python -m repro.campaign report sweep.json
+
+The result store defaults to ``<spec>.results.jsonl`` next to the spec
+file; pass ``--store`` to share one store between campaigns.  Stores are
+append-only JSONL keyed by cell content hash — interrupting a run loses
+at most the cell in flight, and re-running skips everything stored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.campaign.aggregate import aggregate_table
+from repro.campaign.runner import CampaignRunner, CellOutcome
+from repro.campaign.spec import CampaignSpec, TopologySpec
+from repro.campaign.store import ResultStore
+
+__all__ = ["main"]
+
+
+def _default_store(spec_path: Path) -> Path:
+    return spec_path.with_suffix(".results.jsonl")
+
+
+def _load(args) -> tuple:
+    spec_path = Path(args.spec)
+    spec = CampaignSpec.load(spec_path)
+    store_path = Path(args.store) if args.store else _default_store(spec_path)
+    return spec, ResultStore(store_path), store_path
+
+
+def _progress(outcome: CellOutcome, finished: int, pending: int) -> None:
+    cell = outcome.cell
+    status = "FAILED" if not outcome.ok else f"{outcome.elapsed:.1f}s"
+    params = ",".join(f"{k}={v}" for k, v in sorted(cell.params.items()))
+    print(
+        f"[{finished}/{pending}] {outcome.key[:12]} "
+        f"{cell.topology.label} seed={cell.seed} {params or '-'} ({status})",
+        flush=True,
+    )
+
+
+def _cmd_run(args, *, force: bool) -> int:
+    spec, store, store_path = _load(args)
+    runner = CampaignRunner(spec, store=store, n_workers=args.workers)
+    report = runner.run(force=force, progress=_progress)
+    print(report.summary())
+    print(f"store: {store_path} ({len(store)} records)")
+    if not report.ok:
+        for outcome in report.outcomes:
+            if outcome.error:
+                print(f"--- failed cell {outcome.key[:12]} ---", file=sys.stderr)
+                print(outcome.error, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_status(args) -> int:
+    spec, store, store_path = _load(args)
+    status = CampaignRunner(spec, store=store).status()
+    missing = status["missing"]
+    print(f"campaign:  {status['spec']}")
+    print(f"store:     {store_path}")
+    print(f"cells:     {status['done']}/{status['total']} done")
+    if store.corrupt_lines:
+        print(f"corrupt:   {store.corrupt_lines} unreadable line(s) skipped")
+    if missing:
+        shown = ", ".join(k[:12] for k in missing[:8])
+        more = f" (+{len(missing) - 8} more)" if len(missing) > 8 else ""
+        print(f"missing:   {shown}{more}")
+    return 0 if not missing else 2
+
+
+def _cmd_report(args) -> int:
+    spec, store, _ = _load(args)
+    by = args.by.split(",") if args.by else None
+    values = args.values.split(",") if args.values else None
+    result = aggregate_table(spec, store, by=by, values=values)
+    print(result.render())
+    return 0
+
+
+def example_spec(*, tiny: bool = False) -> CampaignSpec:
+    """The starter campaign the ``example`` subcommand emits.
+
+    Default: Table 1 scenarios 1-3 (shrunk to 80 nodes) × NoC grid ×
+    3 seeds, measuring reachability.  ``tiny`` drops to a single
+    2-cell smoke grid for CI.
+    """
+    if tiny:
+        return CampaignSpec(
+            name="smoke",
+            description="2-cell CI smoke campaign",
+            topologies=(TopologySpec(kind="standard", num_nodes=60, salt="smoke"),),
+            base_params={"R": 2, "r": 5, "noc": 2},
+            seeds=(0, 1),
+            metrics=("reachability",),
+            num_sources=10,
+        )
+    return CampaignSpec(
+        name="example",
+        description=(
+            "Reachability over Table 1 scenarios 1-3 (density kept, 80 nodes) "
+            "x NoC x 3 seeds"
+        ),
+        topologies=tuple(
+            TopologySpec(kind="scenario", scenario=i, num_nodes=80)
+            for i in (1, 2, 3)
+        ),
+        base_params={"R": 2, "r": 6, "depth": 1},
+        grid={"noc": [3]},
+        seeds=(0, 1, 2),
+        metrics=("reachability", "overhead"),
+        num_sources=20,
+    )
+
+
+def _cmd_example(args) -> int:
+    spec = example_spec(tiny=args.tiny)
+    out = Path(args.out)
+    spec.save(out)
+    print(f"wrote {spec.num_cells}-cell spec {spec.name!r} to {out}")
+    print(f"run it:  python -m repro.campaign run {out} --workers 4")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run declarative experiment campaigns (parallel, resumable).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_spec_args(p, workers: bool = True):
+        p.add_argument("spec", help="path to a CampaignSpec JSON file")
+        p.add_argument(
+            "--store",
+            default=None,
+            help="JSONL result store (default: <spec>.results.jsonl)",
+        )
+        if workers:
+            p.add_argument(
+                "--workers", type=int, default=1, help="process-pool width"
+            )
+
+    p_run = sub.add_parser("run", help="execute cells not yet in the store")
+    add_spec_args(p_run)
+    p_run.add_argument(
+        "--force", action="store_true", help="re-execute cached cells too"
+    )
+    p_resume = sub.add_parser("resume", help="execute only the missing cells")
+    add_spec_args(p_resume)
+    p_status = sub.add_parser("status", help="show stored vs missing cells")
+    add_spec_args(p_status, workers=False)
+    p_report = sub.add_parser("report", help="aggregate the store into a table")
+    add_spec_args(p_report, workers=False)
+    p_report.add_argument(
+        "--by", default=None, help="comma-separated group-by axes"
+    )
+    p_report.add_argument(
+        "--values", default=None, help="comma-separated metrics to reduce"
+    )
+    p_example = sub.add_parser("example", help="write a starter spec JSON")
+    p_example.add_argument("--out", default="campaign_example.json")
+    p_example.add_argument(
+        "--tiny", action="store_true", help="2-cell smoke spec (CI)"
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args, force=args.force)
+        if args.command == "resume":
+            return _cmd_run(args, force=False)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_example(args)
+    except BrokenPipeError:
+        # the reader (e.g. `report ... | head`) closed the pipe; park
+        # stdout on devnull so interpreter shutdown doesn't re-raise
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
+    except json.JSONDecodeError as exc:
+        print(f"error: invalid JSON in spec file: {exc}", file=sys.stderr)
+    except (KeyError, TypeError, ValueError) as exc:
+        # bad spec contents (incl. typo'd keys), unknown --by/--values axes
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

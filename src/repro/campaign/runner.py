@@ -1,0 +1,265 @@
+"""Campaign execution: grid expansion, caching, process fan-out.
+
+:class:`CampaignRunner` turns a :class:`~repro.campaign.spec.CampaignSpec`
+into work:
+
+1. expand the spec into cells and hash each one;
+2. drop cells the :class:`~repro.campaign.store.ResultStore` already
+   holds (cache hits — this is also what makes ``resume`` incremental);
+3. execute the rest, either in-process (``n_workers=1``, bit-identical
+   and debugger-friendly) or over a ``multiprocessing`` pool;
+4. append every finished cell to the store as soon as it lands (only the
+   parent writes, so the JSONL file needs no locking).
+
+Cells are pure functions of their spec — every random stream is derived
+from the cell's own seed — so the worker count and completion order
+cannot change any stored metric, only the wall-clock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.spec import CampaignSpec, CellSpec
+from repro.campaign.store import ResultStore
+from repro.core.params import CARDParams
+from repro.core.runner import SnapshotRunner
+from repro.scenarios.factory import sample_sources
+
+__all__ = ["CampaignRunner", "CampaignReport", "CellOutcome", "execute_cell"]
+
+
+# ----------------------------------------------------------------------
+def execute_cell(cell: CellSpec) -> Dict[str, object]:
+    """Run one cell and return its flat metrics dict.
+
+    Metric families (selected by ``cell.metrics``):
+
+    * ``topology`` — Table 1 connectivity statistics of the built graph;
+    * ``reachability`` — mean/distribution of per-source reachability
+      after contact selection;
+    * ``overhead`` — CSQ message costs and network-wide message totals.
+    """
+    topo = cell.topology.build(cell.seed)
+    out: Dict[str, object] = {}
+    if "topology" in cell.metrics:
+        st = topo.stats()
+        out.update(
+            num_nodes=st.num_nodes,
+            num_links=st.num_links,
+            mean_degree=float(st.mean_degree),
+            diameter=int(st.diameter),
+            mean_hops=float(st.mean_hops),
+            giant_size=int(st.giant_size),
+            num_components=int(st.num_components),
+        )
+    if "reachability" in cell.metrics or "overhead" in cell.metrics:
+        params: CARDParams = cell.resolved_params()
+        sources = sample_sources(topo.num_nodes, cell.num_sources, cell.seed)
+        result = SnapshotRunner(
+            topo, params, seed=cell.seed, sources=sources
+        ).run()
+        if "reachability" in cell.metrics:
+            out["mean_reachability"] = float(result.mean_reachability)
+            out["distribution"] = [int(v) for v in result.distribution]
+            out["mean_contacts"] = float(result.mean_contacts)
+            out["measured_sources"] = len(result.sources)
+        if "overhead" in cell.metrics:
+            out["selection_msgs_per_source"] = float(result.selection_per_node())
+            out["backtrack_msgs_per_source"] = float(result.backtracking_per_node())
+            for category, count in result.message_totals.items():
+                out[f"msgs_{category}"] = int(count)
+    return out
+
+
+def _worker(payload: Tuple[str, Dict[str, object]]):
+    """Pool target: run one serialised cell, never raise."""
+    key, cell_dict = payload
+    started = time.perf_counter()
+    try:
+        metrics = execute_cell(CellSpec.from_dict(cell_dict))
+        return key, metrics, time.perf_counter() - started, None
+    except Exception:  # noqa: BLE001 - report, don't kill the pool
+        return key, None, time.perf_counter() - started, traceback.format_exc()
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class CellOutcome:
+    """What happened to one cell during a :meth:`CampaignRunner.run`."""
+
+    key: str
+    cell: CellSpec
+    metrics: Optional[Dict[str, object]]
+    elapsed: float = 0.0
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class CampaignReport:
+    """Summary of one campaign invocation."""
+
+    spec_name: str
+    total_cells: int
+    executed: int
+    cached: int
+    failed: int
+    elapsed: float
+    outcomes: List[CellOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.spec_name!r}: {self.total_cells} cells — "
+            f"{self.executed} executed, {self.cached} cached, "
+            f"{self.failed} failed in {self.elapsed:.1f}s"
+        )
+
+
+# ----------------------------------------------------------------------
+class CampaignRunner:
+    """Expand a spec, skip stored cells, fan the rest out, persist results.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    store:
+        Result store; default is an ephemeral in-memory store.
+    n_workers:
+        Process-pool width.  1 (default) runs in-process — same numbers,
+        no subprocess machinery — which is what determinism tests use.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: Optional[ResultStore] = None,
+        *,
+        n_workers: int = 1,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.spec = spec
+        self.store = store if store is not None else ResultStore(None)
+        self.n_workers = int(n_workers)
+
+    # ------------------------------------------------------------------
+    def cells(self) -> List[Tuple[str, CellSpec]]:
+        """(key, cell) pairs, deduplicated by key, in expansion order."""
+        return list(self.spec.unique_cells().items())
+
+    def status(self) -> Dict[str, object]:
+        """How much of the campaign the store already holds."""
+        pairs = self.cells()
+        missing = [key for key, _ in pairs if key not in self.store]
+        return {
+            "spec": self.spec.name,
+            "total": len(pairs),
+            "done": len(pairs) - len(missing),
+            "missing": missing,
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        force: bool = False,
+        progress: Optional[Callable[[CellOutcome, int, int], None]] = None,
+    ) -> CampaignReport:
+        """Execute every cell not yet stored (all cells when ``force``).
+
+        ``progress`` (outcome, finished_count, pending_count) fires as
+        each executed cell lands; cached cells are reported in the result
+        but do not fire it.
+        """
+        started = time.perf_counter()
+        pairs = self.cells()
+        outcomes: List[CellOutcome] = []
+        pending: List[Tuple[str, CellSpec]] = []
+        for key, cell in pairs:
+            if not force and key in self.store:
+                outcomes.append(
+                    CellOutcome(
+                        key=key,
+                        cell=cell,
+                        metrics=self.store.metrics(key),
+                        cached=True,
+                    )
+                )
+            else:
+                pending.append((key, cell))
+
+        by_key = dict(pairs)
+        finished = 0
+        for key, metrics, elapsed, error in self._execute(pending):
+            outcome = CellOutcome(
+                key=key,
+                cell=by_key[key],
+                metrics=metrics,
+                elapsed=elapsed,
+                error=error,
+            )
+            if error is None:
+                self.store.append(
+                    key,
+                    by_key[key].to_dict(),
+                    metrics,  # type: ignore[arg-type]
+                    meta={
+                        "campaign": self.spec.name,
+                        "elapsed": round(elapsed, 4),
+                        "finished_at": time.time(),
+                    },
+                )
+            outcomes.append(outcome)
+            finished += 1
+            if progress is not None:
+                progress(outcome, finished, len(pending))
+
+        failed = sum(1 for o in outcomes if not o.ok)
+        return CampaignReport(
+            spec_name=self.spec.name,
+            total_cells=len(pairs),
+            executed=len(pending),
+            cached=len(pairs) - len(pending),
+            failed=failed,
+            elapsed=time.perf_counter() - started,
+            outcomes=outcomes,
+        )
+
+    def resume(
+        self,
+        *,
+        progress: Optional[Callable[[CellOutcome, int, int], None]] = None,
+    ) -> CampaignReport:
+        """Execute only the cells missing from the store (alias of run)."""
+        return self.run(force=False, progress=progress)
+
+    # ------------------------------------------------------------------
+    def _execute(self, pending: List[Tuple[str, CellSpec]]):
+        """Yield (key, metrics, elapsed, error) for each pending cell."""
+        if not pending:
+            return
+        payloads = [(key, cell.to_dict()) for key, cell in pending]
+        if self.n_workers == 1 or len(payloads) == 1:
+            for payload in payloads:
+                yield _worker(payload)
+            return
+        # the platform-default start method (fork on Linux, spawn on
+        # macOS/Windows — fork is unsafe under the Objective-C runtime);
+        # payloads are plain JSON-ready dicts, so both methods work
+        ctx = mp.get_context()
+        with ctx.Pool(processes=min(self.n_workers, len(payloads))) as pool:
+            yield from pool.imap_unordered(_worker, payloads)

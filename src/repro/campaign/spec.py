@@ -1,0 +1,444 @@
+"""Declarative campaign specifications.
+
+A *campaign* is a grid of independent simulation *cells*:
+
+    topologies × CARD-parameter combinations × seeds
+
+Each cell names everything needed to run one snapshot measurement — a
+topology recipe (:class:`TopologySpec`), a dict of :class:`CARDParams`
+overrides, a root seed and the metric families to record — and nothing
+else, so cells can be hashed, cached, shipped to worker processes and
+re-run years later with identical results.
+
+The whole spec serialises to/from JSON (``to_json``/``from_json``), which
+is what ``python -m repro.campaign`` consumes.  Cell identity is a stable
+content hash (:func:`content_hash`) of the cell's canonical JSON form;
+the :class:`~repro.campaign.store.ResultStore` keys records by it, which
+is what makes re-runs cache hits and ``resume`` incremental.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import numbers
+from dataclasses import dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.params import CARDParams
+from repro.net.topology import Topology
+from repro.scenarios.factory import build_topology, standard_topology
+from repro.scenarios.table1 import get_scenario
+from repro.util.rng import spawn_rng
+
+__all__ = [
+    "SPEC_VERSION",
+    "METRIC_FAMILIES",
+    "TopologySpec",
+    "CellSpec",
+    "CampaignSpec",
+    "content_hash",
+]
+
+#: Bumped whenever the canonical cell-dict schema changes incompatibly
+#: (it participates in the content hash, so old stores stop matching).
+SPEC_VERSION = 1
+
+#: Metric families a cell can record.
+METRIC_FAMILIES = ("topology", "reachability", "overhead")
+
+
+def content_hash(obj: object) -> str:
+    """Stable SHA-256 hex digest of ``obj``'s canonical JSON form.
+
+    Key order and container identity do not matter; two specs describing
+    the same cell hash identically across processes and sessions (unlike
+    Python's salted ``hash``).
+    """
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _json_value(name: str, value: object) -> object:
+    """Coerce a parameter value to its canonical JSON form.
+
+    Enum members become their values (what ``CARDParams.from_dict``
+    accepts back) and numpy scalars their Python equivalents, so the
+    content hash of a programmatically-built spec matches the hash of
+    the same spec round-tripped through JSON.  Anything not representable
+    is rejected here, with the knob named, instead of surfacing as an
+    opaque ``TypeError`` from ``json.dumps`` inside ``key()``.
+    """
+    if isinstance(value, enum.Enum):
+        return _json_value(name, value.value)
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_value(name, v) for v in value]
+    raise ValueError(
+        f"parameter {name!r} has non-JSON-serialisable value {value!r} "
+        f"({type(value).__name__}); use plain scalars, strings or enum values"
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySpec:
+    """A topology recipe — how to (re)build a network from a seed.
+
+    Three kinds cover the paper's configurations:
+
+    * ``"scenario"`` — a Table 1 scenario by 1-based index; ``num_nodes``
+      optionally overrides the node count (scaled CI runs) while keeping
+      the scenario's area, range and RNG stream, exactly as the legacy
+      ``table1`` experiment does;
+    * ``"standard"`` — the N=500 / 710 m × 710 m / 50 m workhorse of
+      Figs 3-8, density-matched when ``num_nodes`` shrinks;
+    * ``"explicit"`` — an arbitrary (num_nodes, area, tx_range) triple.
+    """
+
+    kind: str = "standard"
+    num_nodes: Optional[int] = None
+    scenario: Optional[int] = None
+    area: Optional[Tuple[float, float]] = None
+    tx_range: Optional[float] = None
+    salt: str = "campaign"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("standard", "scenario", "explicit"):
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; "
+                "expected standard | scenario | explicit"
+            )
+        if self.kind == "scenario":
+            if self.scenario is None:
+                raise ValueError("scenario topologies need a Table 1 index")
+            if self.area is not None or self.tx_range is not None:
+                raise ValueError(
+                    "scenario topologies take area/tx_range from Table 1; "
+                    "only num_nodes can be overridden (use kind='explicit' "
+                    "for custom geometry)"
+                )
+        elif self.scenario is not None:
+            raise ValueError(
+                f"scenario index given but kind is {self.kind!r}; "
+                "use kind='scenario' to build a Table 1 topology"
+            )
+        if self.kind == "explicit" and (
+            self.num_nodes is None or self.area is None or self.tx_range is None
+        ):
+            raise ValueError(
+                "explicit topologies need num_nodes, area and tx_range"
+            )
+        if self.area is not None:
+            object.__setattr__(self, "area", tuple(float(a) for a in self.area))
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Short human-readable identity used in reports and group-bys."""
+        if self.kind == "scenario":
+            base = f"scenario{self.scenario}"
+            if self.num_nodes is not None:
+                base += f"@N={self.num_nodes}"
+            return base
+        n = self.num_nodes if self.num_nodes is not None else 500
+        if self.kind == "standard":
+            label = f"standard-N{n}"
+            if self.area is not None:
+                label += f"-{self.area[0]:g}x{self.area[1]:g}"
+            if self.tx_range is not None:
+                label += f"-tx{self.tx_range:g}"
+            return label
+        w, h = self.area  # type: ignore[misc]
+        return f"N{n}-{w:g}x{h:g}-tx{self.tx_range:g}"
+
+    def build(self, seed: Optional[int]) -> Topology:
+        """Materialise the topology for ``seed``.
+
+        The RNG streams match the legacy experiment paths bit-for-bit
+        (scenario → ``spawn_rng(seed, "scenario", index)``, standard /
+        explicit → the salted factory stream), so campaign cells reproduce
+        the figure runners' numbers exactly.
+        """
+        if self.kind == "scenario":
+            sc = get_scenario(int(self.scenario))  # type: ignore[arg-type]
+            n = sc.num_nodes if self.num_nodes is None else int(self.num_nodes)
+            if n == sc.num_nodes:
+                return sc.build(seed)
+            return Topology.uniform_random(
+                n, sc.area, sc.tx_range, spawn_rng(seed, "scenario", sc.index)
+            )
+        if self.kind == "standard":
+            kwargs: Dict[str, object] = {"seed": seed, "salt": self.salt}
+            if self.num_nodes is not None:
+                kwargs["num_nodes"] = int(self.num_nodes)
+            if self.area is not None:
+                kwargs["area"] = self.area
+            if self.tx_range is not None:
+                kwargs["tx_range"] = float(self.tx_range)
+            return standard_topology(**kwargs)  # type: ignore[arg-type]
+        return build_topology(
+            int(self.num_nodes),  # type: ignore[arg-type]
+            self.area,  # type: ignore[arg-type]
+            float(self.tx_range),  # type: ignore[arg-type]
+            seed=seed,
+            salt=self.salt,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"kind": self.kind, "salt": self.salt}
+        if self.num_nodes is not None:
+            out["num_nodes"] = int(self.num_nodes)
+        if self.scenario is not None:
+            out["scenario"] = int(self.scenario)
+        if self.area is not None:
+            out["area"] = [float(a) for a in self.area]
+        if self.tx_range is not None:
+            out["tx_range"] = float(self.tx_range)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TopologySpec":
+        kwargs = dict(data)
+        if kwargs.get("area") is not None:
+            kwargs["area"] = tuple(kwargs["area"])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=True)
+class CellSpec:
+    """One independent unit of campaign work.
+
+    ``params`` holds :class:`CARDParams` *overrides* (unset fields keep
+    their defaults), so the hash covers exactly what the spec declares.
+    """
+
+    topology: TopologySpec
+    params: Mapping[str, object] = field(default_factory=dict)
+    seed: int = 0
+    metrics: Tuple[str, ...] = ("reachability",)
+    num_sources: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "params",
+            {k: _json_value(k, v) for k, v in dict(self.params).items()},
+        )
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        unknown = set(self.metrics) - set(METRIC_FAMILIES)
+        if unknown:
+            raise ValueError(
+                f"unknown metric families {sorted(unknown)}; "
+                f"known: {METRIC_FAMILIES}"
+            )
+        if not self.metrics:
+            raise ValueError("a cell must record at least one metric family")
+
+    def __hash__(self) -> int:
+        # the generated field-based hash would choke on the params dict
+        return hash(self.key())
+
+    # ------------------------------------------------------------------
+    def resolved_params(self) -> CARDParams:
+        """The full CARD parameter set this cell runs with."""
+        return CARDParams.from_dict(self.params)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "v": SPEC_VERSION,
+            "topology": self.topology.to_dict(),
+            "params": dict(self.params),
+            "seed": int(self.seed),
+            "metrics": list(self.metrics),
+        }
+        if self.num_sources is not None:
+            out["num_sources"] = int(self.num_sources)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CellSpec":
+        kwargs = dict(data)
+        kwargs.pop("v", None)
+        kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])  # type: ignore[arg-type]
+        if "metrics" in kwargs:
+            kwargs["metrics"] = tuple(kwargs["metrics"])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def key(self) -> str:
+        """Stable content hash identifying this cell in a result store."""
+        return content_hash(self.to_dict())
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep: topologies × parameter grid × seeds.
+
+    Attributes
+    ----------
+    name, description:
+        Identity for reports and store metadata.
+    topologies:
+        One or more :class:`TopologySpec` recipes.
+    base_params:
+        :class:`CARDParams` overrides shared by every cell.
+    grid:
+        Parameter name → list of values; the Cartesian product over
+        (sorted) grid axes is taken, each combination layered on top of
+        ``base_params``.
+    seeds:
+        Root seeds; every (topology, combination) runs once per seed.
+    metrics:
+        Metric families recorded per cell (see :data:`METRIC_FAMILIES`).
+    num_sources:
+        Measure a reproducible sample of this many source nodes
+        (None = all nodes).
+    """
+
+    name: str
+    topologies: Tuple[TopologySpec, ...]
+    base_params: Mapping[str, object] = field(default_factory=dict)
+    grid: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    seeds: Tuple[int, ...] = (0,)
+    metrics: Tuple[str, ...] = ("reachability",)
+    num_sources: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "topologies", tuple(self.topologies))
+        object.__setattr__(
+            self,
+            "base_params",
+            {k: _json_value(k, v) for k, v in dict(self.base_params).items()},
+        )
+        for axis, axis_values in dict(self.grid).items():
+            if isinstance(axis_values, (str, bytes)):
+                raise ValueError(
+                    f"grid axis {axis!r} must be a list of values, got the "
+                    f"bare string {axis_values!r} (wrap it: [{axis_values!r}])"
+                )
+        object.__setattr__(
+            self,
+            "grid",
+            {k: _json_value(k, list(v)) for k, v in dict(self.grid).items()},
+        )
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        if not self.topologies:
+            raise ValueError("a campaign needs at least one topology")
+        if not self.seeds:
+            raise ValueError("a campaign needs at least one seed")
+        overlap = set(self.grid) & set(self.base_params)
+        if overlap:
+            raise ValueError(
+                f"grid axes {sorted(overlap)} also appear in base_params; "
+                "name each knob in exactly one place"
+            )
+
+    # ------------------------------------------------------------------
+    def grid_combinations(self) -> List[Dict[str, object]]:
+        """Cartesian product of the grid axes, in sorted-axis order."""
+        axes = sorted(self.grid)
+        if not axes:
+            return [{}]
+        return [
+            dict(zip(axes, values))
+            for values in product(*(self.grid[a] for a in axes))
+        ]
+
+    def expand(self) -> List[CellSpec]:
+        """All cells of the campaign, deterministically ordered."""
+        cells = []
+        for topo in self.topologies:
+            for combo in self.grid_combinations():
+                params = {**self.base_params, **combo}
+                for seed in self.seeds:
+                    cells.append(
+                        CellSpec(
+                            topology=topo,
+                            params=params,
+                            seed=seed,
+                            metrics=self.metrics,
+                            num_sources=self.num_sources,
+                        )
+                    )
+        return cells
+
+    def unique_cells(self) -> Dict[str, CellSpec]:
+        """Key → cell over the expansion, first occurrence wins.
+
+        Duplicate cells (repeated seeds, repeated topology entries) share
+        a content hash and collapse onto one entry; this is the cell set
+        the runner executes and the aggregator reads.
+        """
+        cells: Dict[str, CellSpec] = {}
+        for cell in self.expand():
+            cells.setdefault(cell.key(), cell)
+        return cells
+
+    @property
+    def num_cells(self) -> int:
+        combos = 1
+        for values in self.grid.values():
+            combos *= len(values)
+        return len(self.topologies) * combos * len(self.seeds)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "v": SPEC_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "topologies": [t.to_dict() for t in self.topologies],
+            "base_params": dict(self.base_params),
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "seeds": list(self.seeds),
+            "metrics": list(self.metrics),
+            "num_sources": self.num_sources,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        kwargs = dict(data)
+        version = kwargs.pop("v", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"campaign spec version {version} not supported "
+                f"(this build reads v{SPEC_VERSION})"
+            )
+        kwargs["topologies"] = tuple(
+            TopologySpec.from_dict(t) for t in kwargs["topologies"]  # type: ignore[union-attr]
+        )
+        for key in ("seeds", "metrics"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

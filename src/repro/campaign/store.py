@@ -1,0 +1,127 @@
+"""Append-only JSONL result store, keyed by cell content hash.
+
+One line per finished cell::
+
+    {"key": "<sha256>", "cell": {...}, "metrics": {...}, "meta": {...}}
+
+Properties the campaign engine relies on:
+
+* **Crash safety** — every append is flushed and fsynced; a process
+  killed mid-write leaves at most one truncated trailing line, which
+  :meth:`ResultStore.load` skips (and counts) instead of failing.
+* **Cache hits** — records are keyed by the cell's stable content hash,
+  so re-running a spec against an existing store only executes cells the
+  file does not yet hold; duplicate keys are harmless (last write wins).
+* **Portability** — plain JSON lines; stores can be concatenated,
+  grepped, or shipped between machines.
+
+``path=None`` gives an in-memory store with the same interface (used by
+tests and by figure ports that do not need persistence).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Persistent (or in-memory) map of cell key → result record."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: Dict[str, Dict[str, object]] = {}
+        #: malformed lines skipped by the last :meth:`load` (0 = clean)
+        self.corrupt_lines = 0
+        if self.path is not None:
+            self.load()
+
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        """(Re)read the backing file; returns the number of records.
+
+        Tolerant of a truncated final line (crash mid-append) and of
+        foreign/garbage lines: anything that does not parse as a record
+        is skipped and counted in :attr:`corrupt_lines`.
+        """
+        self._records.clear()
+        self.corrupt_lines = 0
+        if self.path is None or not self.path.exists():
+            return 0
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.corrupt_lines += 1
+                    continue
+                if (
+                    not isinstance(record, dict)
+                    or "key" not in record
+                    or "metrics" not in record
+                ):
+                    self.corrupt_lines += 1
+                    continue
+                self._records[str(record["key"])] = record
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        key: str,
+        cell: Mapping[str, object],
+        metrics: Mapping[str, object],
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Record one finished cell (durable before returning)."""
+        record: Dict[str, object] = {
+            "key": key,
+            "cell": dict(cell),
+            "metrics": dict(metrics),
+            "meta": dict(meta) if meta else {},
+        }
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._records[key] = record
+        return record
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        return self._records.get(key)
+
+    def metrics(self, key: str) -> Optional[Dict[str, object]]:
+        """The metrics dict of a stored cell (a copy), or None.
+
+        The copy keeps callers that post-process results in place from
+        corrupting the in-memory cache behind the JSONL file's back
+        (nested containers are not deep-copied).
+        """
+        record = self._records.get(key)
+        return None if record is None else dict(record["metrics"])  # type: ignore[arg-type]
+
+    def keys(self) -> List[str]:
+        return list(self._records)
+
+    def items(self) -> Iterator[Tuple[str, Dict[str, object]]]:
+        return iter(self._records.items())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.path) if self.path else "<memory>"
+        return f"ResultStore({where!r}, records={len(self)})"

@@ -20,8 +20,8 @@ plus the maintenance/runtime knobs the paper describes qualitatively
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.edge_policy import EdgePolicy
@@ -159,6 +159,43 @@ class CARDParams:
     def with_(self, **changes: object) -> "CARDParams":
         """Return a copy with the given fields replaced (sweep helper)."""
         return replace(self, **changes)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # serialisation (campaign specs store parameter overrides as JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dict of every field (enums become their values)."""
+        out: Dict[str, object] = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["method"] = self.method.value
+        if self.edge_policy is not None:
+            out["edge_policy"] = self.edge_policy.value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CARDParams":
+        """Build params from a (possibly partial) dict of field overrides.
+
+        Missing fields keep their defaults, so campaign specs only need to
+        name the knobs they sweep.  ``method``/``edge_policy`` accept their
+        enum *values* (strings), which is how :meth:`to_dict` writes them.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown CARDParams fields: {sorted(unknown)}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        method = kwargs.get("method")
+        if method is not None and not isinstance(method, SelectionMethod):
+            kwargs["method"] = SelectionMethod(method)
+        policy = kwargs.get("edge_policy")
+        if policy is not None:
+            from repro.core.edge_policy import EdgePolicy
+
+            if not isinstance(policy, EdgePolicy):
+                kwargs["edge_policy"] = EdgePolicy(policy)
+        return cls(**kwargs)  # type: ignore[arg-type]
 
     def describe(self) -> str:
         """One-line summary used in experiment headers."""

@@ -22,7 +22,11 @@ import inspect
 import sys
 import time
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.registry import (
+    DERIVED_EXPERIMENTS,
+    EXPERIMENTS,
+    get_experiment,
+)
 
 
 def main(argv=None) -> int:
@@ -52,10 +56,11 @@ def main(argv=None) -> int:
             print(exp_id)
         return 0
 
-    ids = list(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
-    # fig03_04 duplicates fig03+fig04; skip it in "all" runs
     if args.exp_id == "all":
-        ids.remove("fig03_04")
+        # derived experiments re-derive another artifact; produce each once
+        ids = [i for i in EXPERIMENTS if i not in DERIVED_EXPERIMENTS]
+    else:
+        ids = [args.exp_id]
     for exp_id in ids:
         fn = get_experiment(exp_id)
         kwargs = {"scale": args.scale, "seed": args.seed}

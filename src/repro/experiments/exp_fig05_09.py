@@ -37,10 +37,17 @@ from repro.net.topology import Topology
 from repro.scenarios.factory import FIG9_CONFIGS, build_topology
 from repro.util.ascii_plot import ascii_histogram
 
-__all__ = ["run_fig05", "run_fig06", "run_fig07", "run_fig08", "run_fig09"]
+__all__ = [
+    "run_fig05",
+    "run_fig06",
+    "run_fig07",
+    "run_fig08",
+    "run_fig09",
+    "distribution_table",
+]
 
 
-def _distribution_table(
+def distribution_table(
     columns: Dict[str, np.ndarray],
     means: Dict[str, float],
     *,
@@ -122,7 +129,7 @@ def run_fig05(
     ]
     if skipped:
         notes.append(f"radii {skipped} violate r>=2R and are not runnable")
-    return _distribution_table(
+    return distribution_table(
         columns,
         means,
         exp_id="fig05",
@@ -156,7 +163,7 @@ def run_fig06(
         "r = 2R+8 (non-overlapping contacts are equivalent wherever they sit)",
         f"N={n}, R={R}, NoC={noc}, D=1",
     ]
-    return _distribution_table(
+    return distribution_table(
         columns,
         means,
         exp_id="fig06",
@@ -202,7 +209,7 @@ def run_fig07(
         f"N={n}, R={R}, r={r}, D=1; NoC sweep from one NoC={max_noc} run "
         "(sequential-selection prefixes)",
     ]
-    return _distribution_table(
+    return distribution_table(
         columns,
         means,
         exp_id="fig07",
@@ -247,7 +254,7 @@ def run_fig08(
         "making CARD scalable",
         f"N={n}, R={R}, r={r}, NoC={noc}",
     ]
-    return _distribution_table(
+    return distribution_table(
         columns,
         means,
         exp_id="fig08",
@@ -285,7 +292,7 @@ def run_fig09(
         "density held constant across sizes (area scales with N)",
         "configs: " + "; ".join(c.label for c in FIG9_CONFIGS),
     ]
-    return _distribution_table(
+    return distribution_table(
         columns,
         means,
         exp_id="fig09",

@@ -8,37 +8,83 @@ have more links and higher degree, sparse ones fragment (scenario 3's
 degree 2.57 is far below the ~4.5 percolation threshold of unit-disk
 graphs, hence its oddly *small* diameter — only a small giant component
 exists, and the paper's reported 13/3.76 shows the same signature).
+
+The row/header assembly is shared with the campaign port
+(:mod:`repro.campaign.figures`), which produces the identical table from
+stored cells instead of an inline loop.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.experiments.base import ExperimentResult, scaled
 from repro.net.topology import Topology
-from repro.scenarios.table1 import TABLE1_SCENARIOS
+from repro.scenarios.table1 import Scenario, TABLE1_SCENARIOS
 from repro.util.rng import spawn_rng
 
-__all__ = ["run_table1"]
+__all__ = ["run_table1", "TABLE1_HEADERS", "scenario_row", "table1_notes"]
+
+#: Column order of the reproduced Table 1.
+TABLE1_HEADERS = [
+    "No.",
+    "Nodes",
+    "Area",
+    "Tx",
+    "Links",
+    "Links(paper)",
+    "Degree",
+    "Degree(paper)",
+    "Diam",
+    "Diam(paper)",
+    "AvHops",
+    "AvHops(paper)",
+    "GiantComp",
+]
+
+
+def scenario_row(
+    sc: Scenario,
+    num_nodes: int,
+    *,
+    num_links: int,
+    mean_degree: float,
+    diameter: int,
+    mean_hops: float,
+    giant_size: int,
+) -> List[object]:
+    """One Table 1 row: scenario identity, measured stats, paper stats."""
+    return [
+        sc.index,
+        num_nodes,
+        f"{sc.area[0]:g}x{sc.area[1]:g}",
+        f"{sc.tx_range:g}",
+        num_links,
+        sc.paper_links,
+        round(mean_degree, 3),
+        sc.paper_degree,
+        diameter,
+        sc.paper_diameter,
+        round(mean_hops, 3),
+        sc.paper_avg_hops,
+        giant_size,
+    ]
+
+
+def table1_notes(scale: float) -> List[str]:
+    """The standard interpretation notes beneath the reproduced table."""
+    notes = [
+        "topologies regenerated from the paper's (N, area, tx) with uniform "
+        "placement; per-draw statistics differ, cross-scenario scaling holds",
+        "diameter/avg-hops computed over the largest connected component",
+    ]
+    if scale != 1.0:
+        notes.append(f"scaled run: node counts multiplied by {scale:g}")
+    return notes
 
 
 def run_table1(*, scale: float = 1.0, seed: Optional[int] = 0) -> ExperimentResult:
     """Reproduce Table 1.  ``scale`` shrinks node counts (CI use)."""
-    headers = [
-        "No.",
-        "Nodes",
-        "Area",
-        "Tx",
-        "Links",
-        "Links(paper)",
-        "Degree",
-        "Degree(paper)",
-        "Diam",
-        "Diam(paper)",
-        "AvHops",
-        "AvHops(paper)",
-        "GiantComp",
-    ]
     rows = []
     raw = {}
     for sc in TABLE1_SCENARIOS:
@@ -51,35 +97,22 @@ def run_table1(*, scale: float = 1.0, seed: Optional[int] = 0) -> ExperimentResu
             )
         st = topo.stats()
         rows.append(
-            [
-                sc.index,
+            scenario_row(
+                sc,
                 n,
-                f"{sc.area[0]:g}x{sc.area[1]:g}",
-                f"{sc.tx_range:g}",
-                st.num_links,
-                sc.paper_links,
-                round(st.mean_degree, 3),
-                sc.paper_degree,
-                st.diameter,
-                sc.paper_diameter,
-                round(st.mean_hops, 3),
-                sc.paper_avg_hops,
-                st.giant_size,
-            ]
+                num_links=st.num_links,
+                mean_degree=st.mean_degree,
+                diameter=st.diameter,
+                mean_hops=st.mean_hops,
+                giant_size=st.giant_size,
+            )
         )
         raw[f"scenario{sc.index}"] = st
-    notes = [
-        "topologies regenerated from the paper's (N, area, tx) with uniform "
-        "placement; per-draw statistics differ, cross-scenario scaling holds",
-        "diameter/avg-hops computed over the largest connected component",
-    ]
-    if scale != 1.0:
-        notes.append(f"scaled run: node counts multiplied by {scale:g}")
     return ExperimentResult(
         exp_id="table1",
         title="Table 1 — Scenario connectivity statistics (paper vs measured)",
-        headers=headers,
+        headers=TABLE1_HEADERS,
         rows=rows,
-        notes=notes,
+        notes=table1_notes(scale),
         raw=raw,
     )

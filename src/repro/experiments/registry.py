@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, FrozenSet
 
+from repro.campaign.figures import run_fig07_campaign, run_table1_campaign
 from repro.experiments.base import ExperimentResult
 from repro.experiments.exp_ablations import (
     run_ablation_mobility,
@@ -34,7 +35,12 @@ from repro.experiments.exp_extensions import (
 from repro.experiments.exp_fig14_15 import run_fig14, run_fig15
 from repro.experiments.exp_table1 import run_table1
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "DERIVED_EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]
 
 #: All reproducible artifacts (the paper's, then our ablations).
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -61,7 +67,17 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation_failures": run_ablation_failures,
     "ablation_edge_policy": run_ablation_edge_policy,
     "smallworld": run_smallworld,
+    "fig07_campaign": run_fig07_campaign,
+    "table1_campaign": run_table1_campaign,
 }
+
+#: Experiments that merely re-derive another registered artifact
+#: (composites and campaign-engine twins).  ``python -m repro.experiments
+#: all`` skips these so each artifact is produced exactly once; they stay
+#: individually runnable by id.
+DERIVED_EXPERIMENTS: FrozenSet[str] = frozenset(
+    {"fig03_04", "fig07_campaign", "table1_campaign"}
+)
 
 
 def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:

@@ -17,7 +17,56 @@ from repro.net.graph import bfs_hops
 from repro.net.topology import Topology
 from repro.util.rng import spawn_rng
 
-__all__ = ["build_topology", "query_workload", "FIG9_CONFIGS", "Fig9Config"]
+__all__ = [
+    "build_topology",
+    "query_workload",
+    "FIG9_CONFIGS",
+    "Fig9Config",
+    "scaled",
+    "standard_topology",
+    "sample_sources",
+]
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer knob, never below ``minimum``."""
+    if not (0.0 < scale <= 1.0):
+        raise ValueError("scale must lie in (0, 1]")
+    return max(minimum, int(round(value * scale)))
+
+
+def standard_topology(
+    *,
+    num_nodes: int = 500,
+    area: Tuple[float, float] = (710.0, 710.0),
+    tx_range: float = 50.0,
+    seed: Optional[int] = 0,
+    salt: object = "std",
+    reference_nodes: int = 500,
+) -> Topology:
+    """The paper's workhorse configuration (Table 1 scenario 5 family).
+
+    Most reachability/overhead figures use N=500 nodes on 710 m × 710 m
+    with a 50 m propagation range.  When ``num_nodes`` differs from
+    ``reference_nodes`` (scaled CI runs) the area shrinks proportionally so
+    node *density* — and with it connectivity, mean degree and the shapes
+    of all reachability curves — is preserved (the paper applies the same
+    density matching across sizes in Fig 9).
+    """
+    if num_nodes != reference_nodes:
+        factor = float(np.sqrt(num_nodes / reference_nodes))
+        area = (area[0] * factor, area[1] * factor)
+    return build_topology(num_nodes, area, tx_range, seed=seed, salt=salt)
+
+
+def sample_sources(
+    num_nodes: int, count: Optional[int], seed: Optional[int]
+) -> Optional[Sequence[int]]:
+    """Pick a reproducible source sample (None = all nodes)."""
+    if count is None or count >= num_nodes:
+        return None
+    rng = np.random.default_rng(0 if seed is None else seed)
+    return sorted(int(s) for s in rng.choice(num_nodes, size=count, replace=False))
 
 
 def build_topology(

@@ -1,0 +1,495 @@
+"""Tests for the campaign engine — spec hashing, store crash-safety,
+worker-count determinism, resume, aggregation, figure-port parity and the
+CLI workflow."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign.aggregate import (
+    aggregate_table,
+    group_reduce,
+    mean_ci,
+    stored_records,
+)
+from repro.campaign.figures import (
+    fig07_spec,
+    run_fig07_campaign,
+    run_table1_campaign,
+    table1_spec,
+)
+from repro.campaign.runner import CampaignRunner, execute_cell
+from repro.campaign.spec import CampaignSpec, CellSpec, TopologySpec, content_hash
+from repro.campaign.store import ResultStore
+from repro.campaign.__main__ import main as campaign_main
+from repro.core.params import CARDParams, SelectionMethod
+from repro.experiments.registry import (
+    DERIVED_EXPERIMENTS,
+    EXPERIMENTS,
+    run_experiment,
+)
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    """A 4-cell campaign small enough to run many times per test session."""
+    kwargs = dict(
+        name="tiny",
+        topologies=(TopologySpec(kind="standard", num_nodes=60, salt="tiny"),),
+        base_params={"R": 2, "r": 5},
+        grid={"noc": [2, 3]},
+        seeds=(0, 1),
+        metrics=("reachability",),
+        num_sources=10,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+class TestParamsSerialisation:
+    def test_round_trip_defaults(self):
+        p = CARDParams()
+        assert CARDParams.from_dict(p.to_dict()) == p
+
+    def test_round_trip_enums(self):
+        p = CARDParams(R=2, r=8, method=SelectionMethod.PM, pm_equation=1)
+        d = json.loads(json.dumps(p.to_dict()))  # via real JSON
+        assert CARDParams.from_dict(d) == p
+
+    def test_partial_overrides_keep_defaults(self):
+        p = CARDParams.from_dict({"noc": 7})
+        assert p.noc == 7 and p.R == CARDParams().R
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown CARDParams fields"):
+            CARDParams.from_dict({"nocc": 5})
+
+
+# ----------------------------------------------------------------------
+class TestSpec:
+    def test_expand_counts(self):
+        spec = tiny_spec()
+        cells = spec.expand()
+        assert len(cells) == spec.num_cells == 4
+        assert {c.seed for c in cells} == {0, 1}
+        assert {c.params["noc"] for c in cells} == {2, 3}
+
+    def test_json_round_trip(self):
+        spec = tiny_spec()
+        clone = CampaignSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert [c.key() for c in clone.expand()] == [c.key() for c in spec.expand()]
+
+    def test_save_load(self, tmp_path):
+        spec = tiny_spec()
+        path = spec.save(tmp_path / "spec.json")
+        assert CampaignSpec.load(path) == spec
+
+    def test_grid_base_params_collision_rejected(self):
+        with pytest.raises(ValueError, match="exactly one place"):
+            tiny_spec(base_params={"R": 2, "r": 5, "noc": 1})
+
+    def test_cell_hash_stable_and_order_free(self):
+        topo = TopologySpec(kind="standard", num_nodes=60, salt="tiny")
+        a = CellSpec(topology=topo, params={"R": 2, "noc": 3}, seed=1)
+        b = CellSpec(topology=topo, params={"noc": 3, "R": 2}, seed=1)
+        assert a.key() == b.key()
+        assert len(a.key()) == 64  # sha256 hex
+
+    def test_cell_hash_sensitive(self):
+        topo = TopologySpec(kind="standard", num_nodes=60, salt="tiny")
+        base = CellSpec(topology=topo, params={"noc": 3}, seed=1)
+        assert base.key() != CellSpec(topology=topo, params={"noc": 4}, seed=1).key()
+        assert base.key() != CellSpec(topology=topo, params={"noc": 3}, seed=2).key()
+
+    def test_content_hash_is_process_independent(self):
+        # known digest: guards against accidental canonicalisation changes
+        # sha256 of the canonical form '{"a":1}'
+        assert content_hash({"a": 1}) == (
+            "015abd7f5cc57a2dd94b7590f04ad8084273905ee33ec5cebeae62276a97f862"
+        )
+
+    def test_topology_kind_validation(self):
+        with pytest.raises(ValueError, match="scenario"):
+            TopologySpec(kind="scenario")
+        with pytest.raises(ValueError, match="explicit"):
+            TopologySpec(kind="explicit", num_nodes=50)
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            TopologySpec(kind="mesh")
+
+    def test_scenario_rejects_geometry_overrides(self):
+        # area/tx_range would be hashed but silently ignored by build()
+        with pytest.raises(ValueError, match="take area/tx_range from Table 1"):
+            TopologySpec(kind="scenario", scenario=5, tx_range=100.0)
+        with pytest.raises(ValueError, match="take area/tx_range from Table 1"):
+            TopologySpec(kind="scenario", scenario=5, area=(900.0, 900.0))
+
+    def test_standard_label_distinguishes_geometry(self):
+        plain = TopologySpec(kind="standard", num_nodes=100)
+        wide = TopologySpec(kind="standard", num_nodes=100, area=(900.0, 900.0))
+        ranged = TopologySpec(kind="standard", num_nodes=100, tx_range=70.0)
+        assert len({plain.label, wide.label, ranged.label}) == 3
+
+    def test_stray_scenario_field_rejected(self):
+        # otherwise ignored by build() but hashed — a silent wrong-config
+        with pytest.raises(ValueError, match="use kind='scenario'"):
+            TopologySpec(kind="standard", scenario=3)
+
+    def test_bare_string_grid_axis_rejected(self):
+        with pytest.raises(ValueError, match="bare string"):
+            tiny_spec(grid={"method": "EM"})
+
+    def test_cells_are_hashable(self):
+        spec = tiny_spec(seeds=(0, 0, 1))
+        assert len(set(spec.expand())) == 4
+        assert len(spec.unique_cells()) == 4
+
+    def test_enum_and_numpy_params_canonicalised(self):
+        # programmatic specs may hold enum members / numpy scalars; their
+        # hashes must match the JSON round-tripped form
+        spec = tiny_spec(
+            base_params={"R": np.int64(2), "r": 5, "method": SelectionMethod.PM},
+            grid={"noc": np.arange(2, 4)},
+        )
+        clone = CampaignSpec.from_json(spec.to_json())
+        assert [c.key() for c in clone.expand()] == [c.key() for c in spec.expand()]
+        assert spec.expand()[0].resolved_params().method is SelectionMethod.PM
+
+    def test_unserialisable_param_rejected_with_name(self):
+        with pytest.raises(ValueError, match="'noc' has non-JSON-serialisable"):
+            tiny_spec(base_params={"R": 2, "r": 5, "noc": object()})
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            tiny_spec().expand()[0].__class__(
+                topology=TopologySpec(), metrics=("latency",)
+            )
+
+
+# ----------------------------------------------------------------------
+class TestStore:
+    def test_append_reload(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append("k1", {"seed": 0}, {"m": 1.5})
+        store.append("k2", {"seed": 1}, {"m": 2.5}, meta={"elapsed": 0.1})
+        fresh = ResultStore(tmp_path / "s.jsonl")
+        assert len(fresh) == 2 and "k1" in fresh
+        assert fresh.metrics("k2") == {"m": 2.5}
+        assert fresh.corrupt_lines == 0
+
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append("k1", {}, {"m": 1})
+        store.append("k2", {}, {"m": 2})
+        with path.open("a") as fh:  # simulate a crash mid-append
+            fh.write('{"key": "k3", "metr')
+        fresh = ResultStore(path)
+        assert sorted(fresh.keys()) == ["k1", "k2"]
+        assert fresh.corrupt_lines == 1
+
+    def test_duplicate_key_last_wins(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append("k", {}, {"m": 1})
+        store.append("k", {}, {"m": 2})
+        assert ResultStore(path).metrics("k") == {"m": 2}
+
+    def test_memory_store(self):
+        store = ResultStore(None)
+        store.append("k", {}, {"m": 1})
+        assert store.metrics("k") == {"m": 1} and store.path is None
+
+
+# ----------------------------------------------------------------------
+class TestRunnerDeterminism:
+    def test_same_hashes_and_metrics_across_worker_counts(self, tmp_path):
+        spec = tiny_spec()
+        store1 = ResultStore(tmp_path / "w1.jsonl")
+        store2 = ResultStore(tmp_path / "w2.jsonl")
+        report1 = CampaignRunner(spec, store1, n_workers=1).run()
+        report2 = CampaignRunner(spec, store2, n_workers=2).run()
+        assert report1.ok and report2.ok
+        assert report1.executed == report2.executed == 4
+        assert sorted(store1.keys()) == sorted(store2.keys())
+        for key in store1.keys():
+            assert store1.metrics(key) == store2.metrics(key)
+
+    def test_rerun_is_pure_cache(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "s.jsonl")
+        CampaignRunner(spec, store).run()
+        again = CampaignRunner(spec, ResultStore(tmp_path / "s.jsonl")).run()
+        assert again.executed == 0 and again.cached == 4 and again.ok
+
+    def test_resume_truncated_store_runs_only_missing(self, tmp_path):
+        spec = tiny_spec()
+        full = tmp_path / "full.jsonl"
+        CampaignRunner(spec, ResultStore(full)).run()
+        lines = full.read_text().splitlines()
+        assert len(lines) == 4
+        part = tmp_path / "part.jsonl"
+        part.write_text("\n".join(lines[:2]) + "\n")
+        kept = {json.loads(line)["key"] for line in lines[:2]}
+
+        executed = []
+        runner = CampaignRunner(spec, ResultStore(part))
+        report = runner.resume(progress=lambda o, i, n: executed.append(o.key))
+        assert report.executed == 2 and report.cached == 2
+        assert set(executed).isdisjoint(kept)
+        # resumed store converges to the full run
+        full_store, part_store = ResultStore(full), ResultStore(part)
+        for key in full_store.keys():
+            assert part_store.metrics(key) == full_store.metrics(key)
+
+    def test_force_reexecutes_everything(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "s.jsonl")
+        CampaignRunner(spec, store).run()
+        report = CampaignRunner(spec, store).run(force=True)
+        assert report.executed == 4 and report.cached == 0
+
+    def test_failed_cell_reported_not_stored(self):
+        # scenario index 99 does not exist → the cell fails at build time
+        spec = CampaignSpec(
+            name="broken",
+            topologies=(TopologySpec(kind="scenario", scenario=99),),
+            metrics=("topology",),
+        )
+        store = ResultStore(None)
+        report = CampaignRunner(spec, store).run()
+        assert not report.ok and report.failed == 1
+        assert len(store) == 0
+        assert "no scenario 99" in report.outcomes[0].error
+
+    def test_status(self, tmp_path):
+        spec = tiny_spec()
+        runner = CampaignRunner(spec, ResultStore(tmp_path / "s.jsonl"))
+        before = runner.status()
+        assert before["total"] == 4 and before["done"] == 0
+        runner.run()
+        after = runner.status()
+        assert after["done"] == 4 and after["missing"] == []
+
+
+# ----------------------------------------------------------------------
+class TestExecuteCell:
+    def test_metric_families(self):
+        cell = CellSpec(
+            topology=TopologySpec(kind="standard", num_nodes=60, salt="tiny"),
+            params={"R": 2, "r": 5, "noc": 2},
+            metrics=("topology", "reachability", "overhead"),
+            num_sources=10,
+        )
+        metrics = execute_cell(cell)
+        assert metrics["num_nodes"] == 60
+        assert 0.0 <= metrics["mean_reachability"] <= 100.0
+        assert len(metrics["distribution"]) > 0
+        assert metrics["measured_sources"] == 10
+        assert metrics["selection_msgs_per_source"] >= 0.0
+        assert any(k.startswith("msgs_") for k in metrics)
+        # everything must survive a JSON round trip (store format)
+        assert json.loads(json.dumps(metrics)) == metrics
+
+
+# ----------------------------------------------------------------------
+class TestAggregate:
+    def test_mean_ci(self):
+        assert mean_ci([]) == (0.0, 0.0)
+        assert mean_ci([3.0]) == (3.0, 0.0)
+        mean, half = mean_ci([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert half == pytest.approx(1.96 * 1.0 / np.sqrt(3))
+
+    def test_group_reduce_over_seeds(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "s.jsonl")
+        CampaignRunner(spec, store).run()
+        records = stored_records(spec, store)
+        assert len(records) == 4
+        rows = group_reduce(records, by=["noc"], values=["mean_reachability"])
+        assert [row[0] for row in rows] == [2, 3]
+        assert all(row[-1] == 2 for row in rows)  # two seeds per group
+
+    def test_aggregate_table_defaults(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "s.jsonl")
+        CampaignRunner(spec, store).run()
+        result = aggregate_table(spec, store)
+        assert result.headers[:2] == ["topology", "noc"]
+        assert "mean_reachability" in result.headers
+        assert len(result.rows) == 2  # one per NoC value
+        assert result.render()
+
+    def test_aggregate_incomplete_store_noted(self):
+        result = aggregate_table(tiny_spec(), ResultStore(None))
+        assert any("incomplete" in n for n in result.notes)
+        assert result.rows == []
+
+    def test_aggregate_duplicate_cells_count_once(self):
+        # seeds (0, 0) expand to duplicate cells sharing one key; the
+        # runner stores each key once — the report must not call that
+        # incomplete
+        spec = tiny_spec(seeds=(0, 0))
+        store = ResultStore(None)
+        CampaignRunner(spec, store).run()
+        result = aggregate_table(spec, store)
+        assert not any("incomplete" in n for n in result.notes)
+
+    def test_non_scalar_metric_rejected_with_message(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "s.jsonl")
+        CampaignRunner(spec, store).run()
+        with pytest.raises(ValueError, match="not scalar-reducible"):
+            aggregate_table(spec, store, values=["distribution"])
+
+
+# ----------------------------------------------------------------------
+class TestFigurePorts:
+    def test_fig07_campaign_matches_legacy(self):
+        kwargs = dict(scale=0.25, seed=0, noc_values=(0, 2, 4), num_sources=20)
+        legacy = run_experiment("fig07", **kwargs)
+        campaign = run_fig07_campaign(**kwargs)
+        assert campaign.raw["means"] == legacy.raw["means"]
+        for label, column in legacy.raw["columns"].items():
+            assert (campaign.raw["columns"][label] == column).all()
+        # rendered tables carry identical data rows
+        assert campaign.rows == legacy.rows
+
+    def test_fig07_campaign_parallel_matches_serial(self, tmp_path):
+        kwargs = dict(scale=0.2, seed=0, noc_values=(0, 2), num_sources=15)
+        serial = run_fig07_campaign(n_workers=1, **kwargs)
+        parallel = run_fig07_campaign(
+            n_workers=2, store=ResultStore(tmp_path / "s.jsonl"), **kwargs
+        )
+        assert serial.raw["means"] == parallel.raw["means"]
+
+    def test_table1_campaign_matches_legacy(self):
+        legacy = run_experiment("table1", scale=0.15, seed=0)
+        campaign = run_table1_campaign(scale=0.15, seed=0)
+        assert campaign.rows == legacy.rows
+        assert campaign.headers == legacy.headers
+
+    def test_fig07_spec_declares_grid(self):
+        spec = fig07_spec(scale=0.2, noc_values=(0, 4))
+        assert spec.grid == {"noc": [0, 4]}
+        assert spec.num_cells == 2
+
+    def test_table1_spec_covers_all_scenarios(self):
+        spec = table1_spec(scale=0.15)
+        assert len(spec.topologies) == 8
+        assert {t.scenario for t in spec.topologies} == set(range(1, 9))
+
+    def test_registry_exposes_campaign_ports_as_derived(self):
+        assert "fig07_campaign" in EXPERIMENTS
+        assert "table1_campaign" in EXPERIMENTS
+        assert "fig07_campaign" in DERIVED_EXPERIMENTS
+        assert "fig03_04" in DERIVED_EXPERIMENTS
+
+
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_example_run_resume_status_report(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert campaign_main(["example", "--tiny", "--out", str(spec_path)]) == 0
+        assert campaign_main(["run", str(spec_path), "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out
+
+        assert campaign_main(["resume", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out and "2 cached" in out
+
+        assert campaign_main(["status", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 done" in out
+
+        assert (
+            campaign_main(
+                ["report", str(spec_path), "--values", "mean_reachability"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mean_reachability" in out
+
+    def test_status_incomplete_exit_code(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        campaign_main(["example", "--tiny", "--out", str(spec_path)])
+        capsys.readouterr()
+        assert campaign_main(["status", str(spec_path)]) == 2
+
+    def test_clean_cli_errors(self, tmp_path, capsys):
+        # missing spec, malformed spec, bad axis, non-scalar metric: all
+        # one-line errors with exit 1, never tracebacks
+        assert campaign_main(["run", str(tmp_path / "nope.json")]) == 1
+        assert "error: no such file" in capsys.readouterr().err
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x"')
+        assert campaign_main(["run", str(bad)]) == 1
+        assert "error: invalid JSON" in capsys.readouterr().err
+
+        spec_path = tmp_path / "spec.json"
+        campaign_main(["example", "--tiny", "--out", str(spec_path)])
+        campaign_main(["run", str(spec_path)])
+        capsys.readouterr()
+        assert campaign_main(["report", str(spec_path), "--by", "bogus"]) == 1
+        assert "unknown field 'bogus'" in capsys.readouterr().err
+        assert (
+            campaign_main(
+                ["report", str(spec_path), "--values", "distribution"]
+            )
+            == 1
+        )
+        assert "not scalar-reducible" in capsys.readouterr().err
+
+    def test_typoed_spec_key_clean_error(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        campaign_main(["example", "--tiny", "--out", str(spec_path)])
+        capsys.readouterr()
+        text = spec_path.read_text().replace("num_nodes", "num_node")
+        spec_path.write_text(text)
+        assert campaign_main(["status", str(spec_path)]) == 1
+        assert "unexpected keyword argument" in capsys.readouterr().err
+
+
+class TestLayering:
+    def test_import_repro_does_not_load_experiments(self):
+        # the campaign exports reachable from `import repro` must not drag
+        # the whole experiment harness in (aggregate/figures are lazy)
+        import subprocess, sys
+
+        code = (
+            "import sys, repro; "
+            "assert 'repro.experiments' not in sys.modules, 'harness loaded'"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.campaign",
+            "repro.campaign.figures",
+            "repro.campaign.aggregate",
+            "repro.experiments",
+            "repro.experiments.registry",
+        ],
+    )
+    def test_every_first_import_order_is_cycle_free(self, module):
+        # the registry ↔ campaign.figures edge must resolve no matter
+        # which side a fresh interpreter imports first
+        import subprocess, sys
+
+        proc = subprocess.run(
+            [sys.executable, "-c", f"import {module}"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
