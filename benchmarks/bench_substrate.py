@@ -1,8 +1,11 @@
 """Microbenchmarks of the simulation substrate hot spots.
 
 Not a paper artifact — these time the kernels every experiment leans on
-(adjacency rebuild, bulk BFS, one CSQ walk) so performance regressions in
-the substrate are caught next to the figure benches they would slow down.
+(adjacency rebuild, bounded band builds, incremental refresh, one CSQ
+walk) so performance regressions in the substrate are caught next to the
+figure benches they would slow down.  The machine-readable counterpart is
+``card-bench`` (see ``benchmarks/README.md``), which emits the JSON
+artifacts CI gates on; these pytest benches are for interactive digging.
 """
 
 import numpy as np
@@ -11,8 +14,9 @@ from repro.core.params import CARDParams
 from repro.core.selection import ContactSelector
 from repro.net.network import Network
 from repro.net.spatial import build_unit_disk_edges
+from repro.net.substrate import DistanceSubstrate
 from repro.net.topology import Topology
-from repro.net.graph import hop_distance_matrix
+from repro.net.graph import bfs_hops, bounded_hop_distances, hop_distance_matrix
 from repro.routing.neighborhood import NeighborhoodTables
 
 
@@ -33,6 +37,48 @@ def test_hop_distance_matrix(benchmark):
     adj = topo.adj
     dist = benchmark(hop_distance_matrix, adj)
     assert dist.shape == (500, 500)
+
+
+def test_bounded_band_cold(benchmark):
+    """The substrate's cold build — what replaced APSP on the hot path."""
+    topo = _topo()
+    adj = topo.adj
+    band = benchmark(bounded_hop_distances, adj, 3)
+    assert band.shape == (500, 500)
+    assert band.dtype == np.int8
+
+
+def test_bfs_hops_vectorized(benchmark):
+    topo = _topo()
+    adj = topo.adj
+    dist = benchmark(bfs_hops, adj, 0)
+    assert dist.shape == (500,)
+
+
+def test_incremental_refresh(benchmark):
+    """One mobility-step refresh: jitter 5% of nodes, refresh the band.
+
+    pytest-benchmark replays the same displacement from the same start
+    positions each round, so every timed refresh sees an identical delta.
+    """
+    topo = _topo()
+    sub = topo.substrate(3)
+    sub.refresh()
+    base = np.array(topo.positions)
+    rng = np.random.default_rng(1)
+    moved = rng.choice(500, size=25, replace=False)
+    jitter = rng.uniform(-25.0, 25.0, size=(25, 2))
+
+    def step():
+        pos = base.copy()
+        pos[moved] = np.clip(pos[moved] + jitter, 0.0, 710.0)
+        topo.set_positions(pos)
+        sub.refresh()
+        topo.set_positions(base)  # rewind so each round sees the same delta
+        sub.refresh()
+
+    benchmark(step)
+    assert sub.stats.incremental_updates > 0
 
 
 def test_csq_walk(benchmark):

@@ -1,0 +1,329 @@
+"""``card-bench`` — the machine-readable performance-regression harness.
+
+Every scaling PR changes the cost trajectory of the same two hot paths:
+
+* **substrate** — cold neighborhood build (bounded frontier products vs
+  the seed's all-pairs matrix) and single-source BFS, swept over N;
+* **mobility** — the per-step neighborhood refresh under random-waypoint
+  movement: the incremental path (bounded BFS only for touched sources)
+  vs recomputing from scratch vs the seed APSP-per-step behavior.
+
+``card-bench run`` times both and emits ``BENCH_substrate.json`` /
+``BENCH_mobility.json`` with wall-times, speedup ratios, per-case peak
+traced allocations and the process peak RSS, so the perf trajectory is a
+diffable artifact tracked PR-over-PR.  ``card-bench compare`` checks a
+fresh run against the committed baselines: it compares **speedup ratios**
+(new path vs reference path, both measured on the same machine in the
+same process), which makes the gate portable across CI hardware — an
+absolute-seconds gate would flake with runner noise.
+
+JSON schema (both files)::
+
+    {
+      "bench": "substrate" | "mobility",
+      "schema_version": 1,
+      "quick": bool,
+      "host": {"platform": ..., "python": ..., "numpy": ..., "scipy": ...},
+      "peak_rss_kb": int,          # process high-water mark after the run
+      "cases": [
+        {
+          "name": str,             # stable key compare() matches on
+          "n": int,                # network size
+          ...,                     # case-specific knobs (radius, steps, ...)
+          "reference_seconds": float,   # the seed-era implementation
+          "candidate_seconds": float,   # the current implementation
+          "speedup": float,             # reference / candidate
+          "candidate_peak_bytes": int,  # tracemalloc peak of the candidate
+          "reference_peak_bytes": int
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._version import __version__
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net import graph as g
+from repro.net.substrate import DistanceSubstrate
+from repro.net.topology import Topology
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "bench_substrate",
+    "bench_mobility",
+    "write_report",
+    "compare_reports",
+]
+
+SCHEMA_VERSION = 1
+
+#: Standard-density geometry (the paper's 500-node field scaled by area so
+#: mean degree stays constant across the N sweep).
+_BASE_N = 500
+_BASE_AREA = 710.0
+_TX_RANGE = 50.0
+
+
+def _topology(n: int, seed: int = 0) -> Topology:
+    side = _BASE_AREA * (n / _BASE_N) ** 0.5
+    rng = np.random.default_rng(seed)
+    return Topology.uniform_random(n, (side, side), _TX_RANGE, rng)
+
+
+def _timed(fn: Callable[[], object], repeats: int) -> Tuple[float, int, object]:
+    """Best-of-``repeats`` wall time, tracemalloc peak, and the last result."""
+    best = float("inf")
+    peak = 0
+    out: object = None
+    for _ in range(repeats):
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - t0
+        _, p = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        best = min(best, elapsed)
+        peak = max(peak, p)
+    return best, peak, out
+
+
+def _host() -> Dict[str, str]:
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except Exception:  # pragma: no cover - no-scipy environments
+        scipy_version = None
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy_version,
+        "card_repro": __version__,
+    }
+
+
+def _peak_rss_kb() -> Optional[int]:
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+# ----------------------------------------------------------------------
+# substrate: cold builds over an N sweep
+# ----------------------------------------------------------------------
+def bench_substrate(
+    *,
+    sizes: Sequence[int] = (250, 500, 1000),
+    radius: int = 3,
+    repeats: int = 3,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Cold neighborhood-build cost: bounded band vs seed all-pairs APSP.
+
+    Each case also cross-checks parity (band == clipped APSP) so a bench
+    run can never report a speedup for wrong answers.
+    """
+    cases: List[Dict[str, object]] = []
+    for n in sizes:
+        topo = _topology(int(n))
+        adj = topo.adj
+
+        apsp_s, apsp_mem, full = _timed(lambda: g.hop_distance_matrix(adj), repeats)
+        band_s, band_mem, band = _timed(
+            lambda: g.bounded_hop_distances(adj, radius), repeats
+        )
+        clipped = np.where(
+            (full >= 0) & (full <= radius), full, g.UNREACHABLE
+        ).astype(band.dtype)
+        if not (band == clipped).all():  # pragma: no cover - parity guard
+            raise AssertionError(f"bounded band diverged from APSP at N={n}")
+
+        bfs_s, _, _ = _timed(lambda: g.bfs_hops(adj, 0), max(repeats, 5))
+        cases.append(
+            {
+                "name": f"cold_build_n{n}",
+                "n": int(n),
+                "radius": int(radius),
+                "reference_seconds": apsp_s,
+                "candidate_seconds": band_s,
+                "speedup": apsp_s / band_s if band_s > 0 else float("inf"),
+                "reference_peak_bytes": int(apsp_mem),
+                "candidate_peak_bytes": int(band_mem),
+                "bfs_hops_seconds": bfs_s,
+            }
+        )
+    return {
+        "bench": "substrate",
+        "schema_version": SCHEMA_VERSION,
+        "quick": bool(quick),
+        "host": _host(),
+        "peak_rss_kb": _peak_rss_kb(),
+        "cases": cases,
+    }
+
+
+# ----------------------------------------------------------------------
+# mobility: per-step refresh under random waypoint
+# ----------------------------------------------------------------------
+def bench_mobility(
+    *,
+    sizes: Sequence[int] = (500, 1000),
+    radius: int = 3,
+    steps: int = 10,
+    step_dt: float = 0.5,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Mobility-step refresh: incremental substrate vs seed APSP-per-step.
+
+    Replays the same random-waypoint trajectory three times per size:
+
+    * ``reference`` — what the seed did: full scipy APSP each step;
+    * ``full_bounded`` — bounded band rebuilt from scratch each step;
+    * ``candidate`` — the incremental substrate (bounded BFS only for
+      sources whose zone a changed link touched).
+
+    The incremental result is asserted equal to the cold bounded build
+    after every step, so the reported speedup is parity-checked.
+    """
+    cases: List[Dict[str, object]] = []
+    for n in sizes:
+        horizon = int(radius)
+
+        def trajectory(topo: Topology) -> List[np.ndarray]:
+            model = RandomWaypoint(
+                topo.positions, topo.area, rng=np.random.default_rng(7)
+            )
+            return [np.array(model.step(step_dt)) for _ in range(steps)]
+
+        # one topology per mode, identical movement
+        topo_ref = _topology(int(n))
+        positions = trajectory(topo_ref)
+
+        ref_total = 0.0
+        for pos in positions:
+            topo_ref.set_positions(pos)
+            adj = topo_ref.adj
+            t0 = time.perf_counter()
+            g.hop_distance_matrix(adj)
+            ref_total += time.perf_counter() - t0
+
+        topo_full = _topology(int(n))
+        full_total = 0.0
+        for pos in positions:
+            topo_full.set_positions(pos)
+            adj = topo_full.adj
+            t0 = time.perf_counter()
+            g.bounded_hop_distances(adj, horizon)
+            full_total += time.perf_counter() - t0
+
+        topo_inc = _topology(int(n))
+        sub = DistanceSubstrate(topo_inc, horizon)
+        topo_inc.enable_delta_tracking()
+        sub.refresh()  # cold build outside the timed loop
+        inc_total = 0.0
+        churn: List[int] = []
+        for pos in positions:
+            before = topo_inc.epoch
+            topo_inc.set_positions(pos)
+            adj = topo_inc.adj
+            changed = topo_inc.diff(before)
+            churn.append(-1 if changed is None else int(changed.size))
+            t0 = time.perf_counter()
+            sub.refresh()
+            inc_total += time.perf_counter() - t0
+            check = g.bounded_hop_distances(adj, horizon)
+            if not (sub.band() == check).all():  # pragma: no cover
+                raise AssertionError(f"incremental refresh diverged at N={n}")
+
+        per_step = steps if steps else 1
+        cases.append(
+            {
+                "name": f"mobility_step_n{n}",
+                "n": int(n),
+                "radius": int(radius),
+                "steps": int(steps),
+                "reference_seconds": ref_total / per_step,
+                "full_bounded_seconds": full_total / per_step,
+                "candidate_seconds": inc_total / per_step,
+                "speedup": (ref_total / inc_total) if inc_total > 0 else float("inf"),
+                "speedup_vs_full_bounded": (
+                    (full_total / inc_total) if inc_total > 0 else float("inf")
+                ),
+                "mean_changed_nodes": (
+                    float(np.mean([c for c in churn if c >= 0])) if churn else 0.0
+                ),
+                "rows_recomputed": sub.stats.rows_recomputed,
+                "full_rebuilds": sub.stats.full_rebuilds,
+                "incremental_updates": sub.stats.incremental_updates,
+            }
+        )
+    return {
+        "bench": "mobility",
+        "schema_version": SCHEMA_VERSION,
+        "quick": bool(quick),
+        "host": _host(),
+        "peak_rss_kb": _peak_rss_kb(),
+        "cases": cases,
+    }
+
+
+# ----------------------------------------------------------------------
+# persistence + regression gate
+# ----------------------------------------------------------------------
+def write_report(report: Dict[str, object], out_dir: Path) -> Path:
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{report['bench']}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_reports(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    max_regression: float = 2.0,
+) -> List[str]:
+    """Regression messages (empty = pass) comparing speedup ratios.
+
+    A case regresses when its measured speedup falls below the baseline
+    speedup divided by ``max_regression`` — i.e. the optimized path lost
+    more than ``max_regression``× of its relative advantage.  Ratios are
+    machine-independent (both sides of each ratio ran on the same host),
+    so the gate is stable across laptop and CI hardware.
+    """
+    failures: List[str] = []
+    base_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    matched = 0
+    for case in current.get("cases", []):
+        ref = base_cases.get(case["name"])
+        if ref is None:
+            continue
+        matched += 1
+        floor = float(ref["speedup"]) / max_regression
+        if float(case["speedup"]) < floor:
+            failures.append(
+                f"{current['bench']}/{case['name']}: speedup "
+                f"{case['speedup']:.2f}x < floor {floor:.2f}x "
+                f"(baseline {ref['speedup']:.2f}x / {max_regression:g})"
+            )
+    if matched == 0:
+        failures.append(
+            f"{current['bench']}: no case names match the baseline "
+            "(did the sweep sizes change without refreshing baselines?)"
+        )
+    return failures

@@ -15,6 +15,18 @@ The result store defaults to ``<spec>.results.jsonl`` next to the spec
 file; pass ``--store`` to share one store between campaigns.  Stores are
 append-only JSONL keyed by cell content hash — interrupting a run loses
 at most the cell in flight, and re-running skips everything stored.
+
+Distributed fan-out: ``--shard i/n`` makes an invocation responsible for
+the i-th of n disjoint slices of the cell grid (1-based).  Run each shard
+on a different machine with its own store, then simply concatenate the
+JSONL stores — records are keyed by content hash, so the merge needs no
+coordination::
+
+    python -m repro.campaign run sweep.json --shard 1/4 --store s1.jsonl
+    python -m repro.campaign run sweep.json --shard 2/4 --store s2.jsonl
+    ...
+    cat s*.jsonl > sweep.results.jsonl
+    python -m repro.campaign report sweep.json
 """
 
 from __future__ import annotations
@@ -56,9 +68,32 @@ def _progress(outcome: CellOutcome, finished: int, pending: int) -> None:
     )
 
 
+def _parse_shard(text: Optional[str]):
+    """Parse ``--shard i/n`` into a 1-based ``(i, n)`` tuple."""
+    if text is None:
+        return None
+    try:
+        index_s, count_s = text.split("/", 1)
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(
+            f"invalid --shard {text!r}: expected i/n, e.g. 1/4"
+        ) from None
+    if count < 1 or not (1 <= index <= count):
+        raise ValueError(
+            f"invalid --shard {text!r}: need 1 <= i <= n"
+        )
+    return (index, count)
+
+
 def _cmd_run(args, *, force: bool) -> int:
     spec, store, store_path = _load(args)
-    runner = CampaignRunner(spec, store=store, n_workers=args.workers)
+    runner = CampaignRunner(
+        spec,
+        store=store,
+        n_workers=args.workers,
+        shard=_parse_shard(args.shard),
+    )
     report = runner.run(force=force, progress=_progress)
     print(report.summary())
     print(f"store: {store_path} ({len(store)} records)")
@@ -73,10 +108,14 @@ def _cmd_run(args, *, force: bool) -> int:
 
 def _cmd_status(args) -> int:
     spec, store, store_path = _load(args)
-    status = CampaignRunner(spec, store=store).status()
+    status = CampaignRunner(
+        spec, store=store, shard=_parse_shard(getattr(args, "shard", None))
+    ).status()
     missing = status["missing"]
     print(f"campaign:  {status['spec']}")
     print(f"store:     {store_path}")
+    if status["shard"]:
+        print(f"shard:     {status['shard']}")
     print(f"cells:     {status['done']}/{status['total']} done")
     if store.corrupt_lines:
         print(f"corrupt:   {store.corrupt_lines} unreadable line(s) skipped")
@@ -147,7 +186,7 @@ def main(argv: Optional[list] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_spec_args(p, workers: bool = True):
+    def add_spec_args(p, workers: bool = True, shard: bool = False):
         p.add_argument("spec", help="path to a CampaignSpec JSON file")
         p.add_argument(
             "--store",
@@ -158,16 +197,26 @@ def main(argv: Optional[list] = None) -> int:
             p.add_argument(
                 "--workers", type=int, default=1, help="process-pool width"
             )
+        if shard:
+            p.add_argument(
+                "--shard",
+                default=None,
+                metavar="i/n",
+                help=(
+                    "run only the i-th of n disjoint cell slices (1-based); "
+                    "per-shard stores concatenate safely"
+                ),
+            )
 
     p_run = sub.add_parser("run", help="execute cells not yet in the store")
-    add_spec_args(p_run)
+    add_spec_args(p_run, shard=True)
     p_run.add_argument(
         "--force", action="store_true", help="re-execute cached cells too"
     )
     p_resume = sub.add_parser("resume", help="execute only the missing cells")
-    add_spec_args(p_resume)
+    add_spec_args(p_resume, shard=True)
     p_status = sub.add_parser("status", help="show stored vs missing cells")
-    add_spec_args(p_status, workers=False)
+    add_spec_args(p_status, workers=False, shard=True)
     p_report = sub.add_parser("report", help="aggregate the store into a table")
     add_spec_args(p_report, workers=False)
     p_report.add_argument(

@@ -141,6 +141,13 @@ class CampaignRunner:
     n_workers:
         Process-pool width.  1 (default) runs in-process — same numbers,
         no subprocess machinery — which is what determinism tests use.
+    shard:
+        ``(i, n)`` with ``1 <= i <= n`` — this runner is responsible for
+        the i-th of n disjoint slices of the (deduplicated, expansion-
+        ordered) cell set.  Shards partition by cell index modulo n, so
+        the union over all shards is exactly the full campaign and cell →
+        shard assignment is stable across machines.  Stores are keyed by
+        content hash, so per-shard JSONL stores concatenate safely.
     """
 
     def __init__(
@@ -149,17 +156,33 @@ class CampaignRunner:
         store: Optional[ResultStore] = None,
         *,
         n_workers: int = 1,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if shard is not None:
+            index, count = int(shard[0]), int(shard[1])
+            if count < 1 or not (1 <= index <= count):
+                raise ValueError(
+                    f"shard must be i/n with 1 <= i <= n, got {index}/{count}"
+                )
+            shard = (index, count)
         self.spec = spec
         self.store = store if store is not None else ResultStore(None)
         self.n_workers = int(n_workers)
+        self.shard = shard
 
     # ------------------------------------------------------------------
     def cells(self) -> List[Tuple[str, CellSpec]]:
-        """(key, cell) pairs, deduplicated by key, in expansion order."""
-        return list(self.spec.unique_cells().items())
+        """(key, cell) pairs, deduplicated by key, in expansion order.
+
+        With a shard configured, only this shard's slice is returned.
+        """
+        pairs = list(self.spec.unique_cells().items())
+        if self.shard is None:
+            return pairs
+        index, count = self.shard
+        return [p for k, p in enumerate(pairs) if k % count == index - 1]
 
     def status(self) -> Dict[str, object]:
         """How much of the campaign the store already holds."""
@@ -170,6 +193,7 @@ class CampaignRunner:
             "total": len(pairs),
             "done": len(pairs) - len(missing),
             "missing": missing,
+            "shard": None if self.shard is None else f"{self.shard[0]}/{self.shard[1]}",
         }
 
     # ------------------------------------------------------------------

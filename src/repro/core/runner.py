@@ -211,6 +211,12 @@ class TimeSeriesResult:
     lost_per_bin: List[int]
     #: number of sources maintaining contacts
     num_sources: int
+    #: per-mobility-step link churn (nodes whose link set changed); empty
+    #: unless the runner was built with ``track_link_deltas=True``
+    link_churn: List[int] = field(default_factory=list)
+    #: distance-substrate refresh accounting for the run (full rebuilds vs
+    #: incremental updates) — the observable the perf harness regresses on
+    substrate_stats: Dict[str, int] = field(default_factory=dict)
 
 
 class TimeSeriesRunner:
@@ -234,6 +240,9 @@ class TimeSeriesRunner:
     count_bootstrap:
         Include the initial selection burst in the series (default False:
         the paper's series start after the network has contacts).
+    track_link_deltas:
+        Record per-step link churn into ``TimeSeriesResult.link_churn``
+        (costs one adjacency rebuild per mobility step).
     """
 
     def __init__(
@@ -247,6 +256,7 @@ class TimeSeriesRunner:
         sources: Optional[Sequence[int]] = None,
         mobility_step: float = 0.5,
         count_bootstrap: bool = False,
+        track_link_deltas: bool = False,
     ) -> None:
         self.topology = topology
         self.params = params
@@ -265,6 +275,7 @@ class TimeSeriesRunner:
         )
         self.mobility_step = float(mobility_step)
         self.count_bootstrap = bool(count_bootstrap)
+        self.track_link_deltas = bool(track_link_deltas)
         self._lost_current_bin = 0
         self._lost_per_bin: List[int] = []
         self._contacts_samples: List[int] = []
@@ -293,6 +304,7 @@ class TimeSeriesRunner:
             self.topology,
             self.mobility,
             step_interval=self.mobility_step,
+            track_deltas=self.track_link_deltas,
         )
         # 3) per-source validation timers (jittered phases)
         procs = [
@@ -334,4 +346,12 @@ class TimeSeriesRunner:
             total_contacts=list(self._contacts_samples),
             lost_per_bin=list(self._lost_per_bin),
             num_sources=len(self.sources),
+            link_churn=list(driver.delta_history),
+            substrate_stats=(
+                # DSDV-backed tables have no oracle substrate to report on
+                sub.stats.as_dict()
+                if (sub := getattr(self.protocol.tables, "substrate", None))
+                is not None
+                else {}
+            ),
         )

@@ -64,6 +64,12 @@ class MobilityDriver:
     on_update:
         Callbacks invoked after each topology update (e.g. refresh
         neighborhood tables).
+    track_deltas:
+        Record per-step link churn: after each applied step,
+        ``delta_history`` gains the number of nodes whose link set changed
+        (the quantity the incremental substrate scales with).  Forces an
+        adjacency rebuild per tick, so leave off unless the series is
+        wanted.
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class MobilityDriver:
         model: MobilityModel,
         step_interval: float = 0.5,
         on_update: Optional[List[Callable[[], None]]] = None,
+        track_deltas: bool = False,
     ) -> None:
         check_positive("step_interval", step_interval)
         if model.num_nodes != topology.num_nodes:
@@ -83,12 +90,25 @@ class MobilityDriver:
         self.step_interval = float(step_interval)
         self.on_update: List[Callable[[], None]] = list(on_update or [])
         self.updates_applied = 0
+        self.track_deltas = bool(track_deltas)
+        #: per-step count of nodes whose neighbor set changed
+        self.delta_history: List[int] = []
+        if self.track_deltas:
+            topology.enable_delta_tracking()
         self._proc = PeriodicProcess(sim, self.step_interval, self._tick)
 
     def _tick(self) -> None:
+        before = self.topology.epoch if self.track_deltas else -1
+        if self.track_deltas:
+            _ = self.topology.adj  # baseline build for the per-step diff
         pos = self.model.step(self.step_interval)
         self.topology.set_positions(pos)
         self.updates_applied += 1
+        if self.track_deltas:
+            changed = self.topology.diff(before)
+            self.delta_history.append(
+                -1 if changed is None else int(changed.size)
+            )
         for cb in self.on_update:
             cb()
 

@@ -6,9 +6,12 @@ This package replaces the NS-2 substrate the paper used.  Its layers:
   neighbor queries (vectorized with NumPy per the HPC guides);
 * :mod:`repro.net.topology` — node positions + transmission range → an
   adjacency structure, rebuilt cheaply as mobility moves nodes;
-* :mod:`repro.net.graph` — hop-count BFS (pure-Python and scipy.sparse bulk
-  variants), connected components, diameter and mean-hop statistics — the
+* :mod:`repro.net.graph` — hop-count BFS (vectorized and scipy.sparse bulk
+  variants, including the radius-bounded frontier-product kernel),
+  connected components, diameter and mean-hop statistics — the
   quantities reported in the paper's Table 1;
+* :mod:`repro.net.substrate` — the shared, incrementally-maintained
+  bounded-distance engine every neighborhood consumer reads from;
 * :mod:`repro.net.messages` — typed control messages (CSQ, validation, DSQ,
   bordercast, flood) shared by CARD and the baselines;
 * :mod:`repro.net.stats` — the control-message accounting that every figure
@@ -21,12 +24,14 @@ from repro.net.topology import Topology
 from repro.net.graph import (
     bfs_hops,
     bfs_tree,
+    bounded_hop_distances,
     hop_distance_matrix,
     connected_components,
     graph_stats,
     GraphStats,
     shortest_path,
 )
+from repro.net.substrate import DistanceSubstrate, SubstrateStats
 from repro.net.messages import (
     Message,
     MessageKind,
@@ -44,6 +49,9 @@ __all__ = [
     "Network",
     "bfs_hops",
     "bfs_tree",
+    "bounded_hop_distances",
+    "DistanceSubstrate",
+    "SubstrateStats",
     "hop_distance_matrix",
     "connected_components",
     "graph_stats",

@@ -1,0 +1,214 @@
+"""The shared, radius-bounded, incrementally-maintained distance substrate.
+
+Everything CARD measures — neighborhood membership, edge nodes, the
+``(2R, r]`` contact band, reachability unions — only needs hop distances up
+to a small horizon (R or 2R), yet the seed implementation recomputed the
+full N×N all-pairs matrix on every topology epoch bump.  A
+:class:`DistanceSubstrate` replaces that with:
+
+* a **band matrix** — ``(N, N)`` int8 of hop distances truncated at
+  ``horizon`` (−1 beyond), built by :func:`repro.net.graph.bounded_hop_distances`
+  (R sparse frontier products instead of all-pairs shortest paths);
+* **incremental maintenance** — after a mobility step the substrate asks
+  :meth:`repro.net.topology.Topology.diff` which nodes changed links and
+  recomputes bounded BFS **only for sources whose ≤horizon ball touches a
+  changed node** (in the old *or* the new graph — both are needed for
+  exactness, see :meth:`_incremental_update`); every other row is provably
+  unchanged, so the result is bit-identical to a cold rebuild;
+* **shared caches** — one substrate lives on the topology
+  (:meth:`repro.net.topology.Topology.substrate`), so every
+  :class:`~repro.routing.neighborhood.NeighborhoodTables`, the contact
+  selector, reachability, the DSQ engine and the snapshot sweeps all read
+  the same per-epoch membership matrix instead of re-deriving their own.
+
+The exact-parity fallback is structural: whenever the topology cannot
+answer ``diff`` (first build, ancient epoch, tracking disabled) or the
+change set is large enough that a fresh build is cheaper, the substrate
+performs a full bounded rebuild — same numbers, different wall-clock.
+``incremental=False`` forces that path everywhere (the parity suite and
+``card-bench`` use it as the reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.net import graph as g
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology owns us)
+    from repro.net.topology import Topology
+
+__all__ = ["DistanceSubstrate", "SubstrateStats"]
+
+#: Incremental updates recomputing more than this fraction of all rows are
+#: not worth the bookkeeping; fall back to a full bounded rebuild.
+FULL_REBUILD_FRACTION = 0.5
+
+
+@dataclass
+class SubstrateStats:
+    """Refresh accounting — what ``card-bench`` and the tests introspect."""
+
+    full_rebuilds: int = 0
+    incremental_updates: int = 0
+    #: rows recomputed across all incremental updates (≤ N per update)
+    rows_recomputed: int = 0
+    #: refreshes skipped because the epoch bump changed no link
+    null_updates: int = 0
+    #: membership matrices served from the per-epoch cache
+    membership_hits: int = 0
+    membership_builds: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "full_rebuilds": self.full_rebuilds,
+            "incremental_updates": self.incremental_updates,
+            "rows_recomputed": self.rows_recomputed,
+            "null_updates": self.null_updates,
+            "membership_hits": self.membership_hits,
+            "membership_builds": self.membership_builds,
+        }
+
+
+@dataclass
+class _EpochCache:
+    """Per-epoch derived views (cleared whenever the band changes)."""
+
+    membership: Dict[int, np.ndarray] = field(default_factory=dict)
+
+
+class DistanceSubstrate:
+    """Radius-bounded hop distances for every node, kept fresh incrementally.
+
+    Parameters
+    ----------
+    topology:
+        The connectivity ground truth; its ``epoch`` counter keys freshness.
+    horizon:
+        Maximum hop distance the band resolves (≥ 1).  Membership queries
+        for any radius ≤ horizon are served from the same band.
+    incremental:
+        When False every refresh is a full bounded rebuild (exact-parity
+        reference mode).
+    """
+
+    def __init__(
+        self, topology: "Topology", horizon: int, *, incremental: bool = True
+    ) -> None:
+        if int(horizon) < 1:
+            raise ValueError("horizon must be >= 1")
+        self.topology = topology
+        self.horizon = int(horizon)
+        self.incremental = bool(incremental)
+        self.stats = SubstrateStats()
+        self._epoch = -1
+        self._band: Optional[np.ndarray] = None
+        self._cache = _EpochCache()
+
+    # ------------------------------------------------------------------
+    # freshness
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Bring the band up to the topology's current epoch."""
+        topo = self.topology
+        adj = topo.adj  # forces the adjacency build (and the change log)
+        if self._band is not None and self._epoch == topo.epoch:
+            return
+        changed: Optional[np.ndarray] = None
+        if self.incremental and self._band is not None:
+            changed = topo.diff(self._epoch)
+        n = topo.num_nodes
+        if changed is None or changed.size > n * FULL_REBUILD_FRACTION:
+            self._band = g.bounded_hop_distances(adj, self.horizon)
+            self.stats.full_rebuilds += 1
+        elif changed.size == 0:
+            # epoch bumped (positions moved / liveness toggled) but no link
+            # actually flipped — the band is already exact
+            self.stats.null_updates += 1
+        else:
+            self._incremental_update(adj, changed)
+        self._epoch = topo.epoch
+        self._cache = _EpochCache()
+
+    def _incremental_update(self, adj, changed: np.ndarray) -> None:
+        """Recompute exactly the rows a link change can have altered.
+
+        A source ``u`` needs recomputation iff some changed node lies
+        within ``horizon`` of ``u`` in the *old* band (a path through the
+        changed region may have broken) or in the *new* graph (a new path
+        may have appeared).  Any other source's ≤horizon ball contains no
+        endpoint of a changed link in either graph, so its set of length-
+        ≤horizon paths — and therefore its band row — is identical.
+        Distances are symmetric (undirected unit-disk links), so the new-
+        graph test reuses the bounded BFS *from* the changed nodes.
+        """
+        band = self._band
+        assert band is not None
+        csr = g.adjacency_to_csr(adj) if g._HAVE_SCIPY else None
+        delta = g.bounded_hop_distances(adj, self.horizon, changed, csr=csr)
+        touched = (band[:, changed] != g.UNREACHABLE).any(axis=1)
+        touched |= (delta != g.UNREACHABLE).any(axis=0)
+        band[changed] = delta
+        touched[changed] = False  # their rows just landed via `delta`
+        rest = np.flatnonzero(touched)
+        if rest.size:
+            band[rest] = g.bounded_hop_distances(adj, self.horizon, rest, csr=csr)
+        self.stats.incremental_updates += 1
+        self.stats.rows_recomputed += int(changed.size + rest.size)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def band(self) -> np.ndarray:
+        """The ``(N, N)`` truncated distance matrix (−1 beyond horizon)."""
+        self.refresh()
+        assert self._band is not None
+        return self._band
+
+    def membership(self, radius: int) -> np.ndarray:
+        """Boolean ``(N, N)`` matrix of ``radius``-hop neighborhood membership.
+
+        Cached per epoch and shared by every consumer asking for the same
+        radius — selection, reachability, DSQ and the snapshot sweeps all
+        read one array.
+        """
+        radius = int(radius)
+        if radius > self.horizon:
+            raise ValueError(
+                f"radius {radius} exceeds substrate horizon {self.horizon}"
+            )
+        band = self.band()
+        cached = self._cache.membership.get(radius)
+        if cached is not None:
+            self.stats.membership_hits += 1
+            return cached
+        member = g.neighborhood_sets(band, radius)
+        self._cache.membership[radius] = member
+        self.stats.membership_builds += 1
+        return member
+
+    def ring(self, u: int, radius: int) -> np.ndarray:
+        """Nodes at *exactly* ``radius`` hops from ``u`` (the edge nodes)."""
+        radius = int(radius)
+        if radius > self.horizon:
+            raise ValueError(
+                f"radius {radius} exceeds substrate horizon {self.horizon}"
+            )
+        return np.flatnonzero(self.band()[u] == radius)
+
+    def hops_within(self, u: int, v: int) -> int:
+        """Hop distance ``u → v`` if ≤ horizon, else :data:`g.UNREACHABLE`."""
+        return int(self.band()[u, v])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistanceSubstrate(horizon={self.horizon}, epoch={self._epoch}, "
+            f"incremental={self.incremental})"
+        )

@@ -11,19 +11,48 @@ invalidates and lazily rebuilds the adjacency and any cached hop-distance
 matrix.  An ``epoch`` counter increments on every rebuild so higher layers
 (neighborhood tables, CARD state) can detect staleness without comparing
 arrays.
+
+Two facilities support the incremental neighborhood substrate:
+
+* **edge-delta tracking** — once enabled, every adjacency rebuild is
+  diffed against the previous one and the set of nodes whose link set
+  changed is logged per epoch range; :meth:`diff` answers "which nodes
+  changed since epoch E?" so consumers can recompute only what a mobility
+  step actually touched;
+* a **shared substrate** — :meth:`substrate` hands out one
+  :class:`~repro.net.substrate.DistanceSubstrate` per topology, so every
+  neighborhood-table instance over this topology reads the same bounded
+  distance band instead of re-deriving its own.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.net import graph as g
 from repro.net.spatial import build_unit_disk_edges
+from repro.net.substrate import DistanceSubstrate
 from repro.util.validation import check_positive
 
 __all__ = ["Topology"]
+
+#: Change-log entries retained; older deltas force a full substrate rebuild.
+#: Covers many mobility steps between substrate refreshes (validation
+#: periods are a handful of steps) without unbounded memory.
+_CHANGE_LOG_LIMIT = 256
+
+
+def _changed_nodes(old: List[np.ndarray], new: List[np.ndarray]) -> np.ndarray:
+    """Ids of nodes whose neighbor array differs between two adjacencies."""
+    changed = [
+        u
+        for u, (a, b) in enumerate(zip(old, new))
+        if a.shape != b.shape or not np.array_equal(a, b)
+    ]
+    return np.asarray(changed, dtype=np.int64)
 
 
 class Topology:
@@ -76,6 +105,15 @@ class Topology:
         self._active = np.ones(positions.shape[0], dtype=bool)
         self._adj: Optional[List[np.ndarray]] = None
         self._dist: Optional[np.ndarray] = None
+        # --- edge-delta tracking (lazy; enabled by the substrate) ---
+        self._track_deltas = False
+        self._prev_adj: Optional[List[np.ndarray]] = None
+        self._prev_adj_epoch = -1
+        #: (from_epoch, to_epoch, changed node ids) — contiguous chain
+        self._change_log: Deque[Tuple[int, int, np.ndarray]] = deque(
+            maxlen=_CHANGE_LOG_LIMIT
+        )
+        self._substrate: Optional[DistanceSubstrate] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -127,7 +165,18 @@ class Topology:
     def adj(self) -> List[np.ndarray]:
         """Sorted neighbor arrays; rebuilt lazily after movement."""
         if self._adj is None:
-            self._adj = self._build_adjacency()
+            new = self._build_adjacency()
+            if self._track_deltas and self._prev_adj is not None:
+                self._change_log.append(
+                    (
+                        self._prev_adj_epoch,
+                        self.epoch,
+                        _changed_nodes(self._prev_adj, new),
+                    )
+                )
+            self._adj = new
+            self._prev_adj = new
+            self._prev_adj_epoch = self.epoch
         return self._adj
 
     def _build_adjacency(self) -> List[np.ndarray]:
@@ -179,17 +228,75 @@ class Topology:
             self.epoch += 1
 
     # ------------------------------------------------------------------
+    # edge-delta tracking
+    # ------------------------------------------------------------------
+    def enable_delta_tracking(self) -> None:
+        """Start diffing adjacency rebuilds (idempotent).
+
+        The current adjacency is built immediately so the first tracked
+        rebuild has a baseline to diff against.
+        """
+        _ = self.adj
+        self._track_deltas = True
+
+    def diff(self, since_epoch: int) -> Optional[np.ndarray]:
+        """Nodes whose link set changed between ``since_epoch`` and now.
+
+        Returns an int64 id array (possibly empty — the epoch advanced but
+        no link flipped), or ``None`` when the change log cannot answer
+        (tracking disabled, ``since_epoch`` predates the log, or no
+        adjacency was built at that epoch).  Callers treat ``None`` as
+        "recompute from scratch" — the exact-parity fallback.
+        """
+        _ = self.adj  # ensure the current epoch's rebuild is logged
+        if since_epoch == self.epoch:
+            return np.empty(0, dtype=np.int64)
+        if not self._track_deltas or since_epoch > self.epoch:
+            return None
+        spans = [e for e in self._change_log if e[0] >= since_epoch]
+        if not spans or spans[0][0] != since_epoch or spans[-1][1] != self.epoch:
+            return None
+        if len(spans) == 1:
+            return spans[0][2]
+        return np.unique(np.concatenate([e[2] for e in spans]))
+
+    def substrate(self, horizon: int) -> "DistanceSubstrate":
+        """The shared bounded-distance substrate, horizon ≥ ``horizon``.
+
+        One substrate serves every consumer of this topology: a request
+        with a smaller horizon reuses the existing band (membership at
+        radius r only needs horizon ≥ r), a larger one replaces it.
+        Creating the substrate enables delta tracking so mobility steps
+        can be applied incrementally.
+        """
+        horizon = int(horizon)
+        if self._substrate is None or self._substrate.horizon < horizon:
+            self.enable_delta_tracking()
+            self._substrate = DistanceSubstrate(self, horizon)
+        return self._substrate
+
+    # ------------------------------------------------------------------
     # derived graph quantities (cached per epoch)
     # ------------------------------------------------------------------
     def hop_distances(self) -> np.ndarray:
-        """All-pairs hop distance matrix, cached until the next movement."""
+        """All-pairs hop distance matrix, cached until the next movement.
+
+        This is the *global* matrix (Table 1 diameter, small-world
+        analysis, overlap ablations).  Protocol-path consumers should use
+        :meth:`substrate` / :meth:`neighborhood_matrix` instead — they
+        never pay the all-pairs cost.
+        """
         if self._dist is None:
             self._dist = g.hop_distance_matrix(self.adj)
         return self._dist
 
     def neighborhood_matrix(self, radius: int) -> np.ndarray:
-        """Boolean ``(N, N)`` matrix of R-hop neighborhood membership."""
-        return g.neighborhood_sets(self.hop_distances(), radius)
+        """Boolean ``(N, N)`` matrix of R-hop neighborhood membership.
+
+        Served by the radius-bounded substrate — no all-pairs matrix is
+        materialised.
+        """
+        return self.substrate(int(radius)).membership(int(radius))
 
     def are_neighbors(self, u: int, v: int) -> bool:
         """True iff ``u`` and ``v`` share a direct (one-hop) link."""

@@ -70,12 +70,16 @@ class ResourceQueryEngine:
 
     # ------------------------------------------------------------------
     def _zone_lookup(self, holder: int, resource: str) -> Optional[int]:
-        """Nearest provider of ``resource`` within holder's neighborhood."""
+        """Nearest provider of ``resource`` within holder's neighborhood.
+
+        Providers are neighborhood members, so their distances live in the
+        radius-bounded band — no all-pairs matrix is ever materialised.
+        """
         members = self.tables.members(holder)
         providers = self.registry.providers_in(resource, members)
         if providers.size == 0:
             return None
-        hops = self.tables.distances[holder, providers]
+        hops = self.tables.zone_hops(holder, providers)
         return int(providers[int(np.argmin(hops))])
 
     # ------------------------------------------------------------------

@@ -93,6 +93,10 @@ class DSDVNeighborhoodTables:
     def hops(self, u: int, v: int) -> int:
         return self.dsdv.hops(u, v)
 
+    def zone_hops(self, u: int, ids) -> np.ndarray:
+        """Vectorized intra-zone distances from the DSDV-learned matrix."""
+        return self.distances[u, np.asarray(ids, dtype=np.int64)]
+
     def path_within(self, u: int, v: int) -> Optional[List[int]]:
         return self.dsdv.path_within(u, v)
 

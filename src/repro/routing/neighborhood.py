@@ -14,9 +14,13 @@ topology:
   behind local recovery and DSQ neighborhood lookups;
 * ``hops(u, v)`` — scoped hop distance.
 
-All matrices are cached against the topology ``epoch`` and recomputed in
-bulk (scipy BFS) after each mobility step — the vectorized-over-nodes
-strategy the HPC guides prescribe for this hot spot.
+All answers are served by the topology's shared
+:class:`~repro.net.substrate.DistanceSubstrate`: a radius-bounded band
+matrix maintained incrementally across mobility epochs, so a step that
+flips a handful of links recomputes bounded BFS only for the sources whose
+zone it touched — never the full all-pairs matrix.  Every tables instance
+over one topology (selector, maintainer, query engine, sweeps) reads the
+same per-epoch membership array.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.net import graph as g
+from repro.net.substrate import DistanceSubstrate
 from repro.net.topology import Topology
 from repro.util.validation import check_int, check_positive
 
@@ -48,32 +53,33 @@ class NeighborhoodTables:
         check_positive("radius", radius)
         self.topology = topology
         self.radius = int(radius)
-        self._epoch = -1
-        self._dist: Optional[np.ndarray] = None
-        self._member: Optional[np.ndarray] = None
+        # create (or join) the shared substrate up front so the first
+        # mobility epoch already has a delta baseline
+        topology.substrate(self.radius)
 
     # ------------------------------------------------------------------
     # freshness
     # ------------------------------------------------------------------
-    def _refresh(self) -> None:
-        if self._epoch != self.topology.epoch or self._dist is None:
-            self._dist = self.topology.hop_distances()
-            self._member = g.neighborhood_sets(self._dist, self.radius)
-            self._epoch = self.topology.epoch
+    @property
+    def substrate(self) -> DistanceSubstrate:
+        """The topology-shared bounded-distance engine answering queries."""
+        return self.topology.substrate(self.radius)
 
     @property
     def distances(self) -> np.ndarray:
-        """All-pairs hop distances underlying the tables (−1 unreachable)."""
-        self._refresh()
-        assert self._dist is not None
-        return self._dist
+        """*Global* all-pairs hop distances (−1 unreachable).
+
+        Compatibility view for analysis paths (overlap ablations, SPREAD
+        edge policy) that genuinely need beyond-radius distances; it pays
+        the full APSP cost on the topology.  Protocol hot paths never call
+        it — they are served by the bounded substrate.
+        """
+        return self.topology.hop_distances()
 
     @property
     def membership(self) -> np.ndarray:
         """Boolean matrix: ``membership[u, v]`` iff v in u's neighborhood."""
-        self._refresh()
-        assert self._member is not None
-        return self._member
+        return self.substrate.membership(self.radius)
 
     # ------------------------------------------------------------------
     # CARD queries
@@ -92,13 +98,28 @@ class NeighborhoodTables:
 
     def edge_nodes(self, u: int) -> np.ndarray:
         """Nodes at exactly R hops from ``u`` — the CSQ launch points."""
-        self._refresh()
-        assert self._dist is not None
-        return np.flatnonzero(self._dist[u] == self.radius)
+        return self.substrate.ring(u, self.radius)
 
     def hops(self, u: int, v: int) -> int:
-        """Hop distance u→v, or −1 if disconnected."""
-        return int(self.distances[u, v])
+        """Hop distance u→v, or −1 if disconnected.
+
+        Intra-zone distances come from the bounded band; a beyond-radius
+        query falls back to the global matrix (lazily built, cached on the
+        topology) to keep the historical "global distance" semantics.
+        """
+        scoped = self.substrate.hops_within(u, v)
+        if scoped != g.UNREACHABLE:
+            return scoped
+        return int(self.topology.hop_distances()[u, v])
+
+    def zone_hops(self, u: int, ids) -> np.ndarray:
+        """Band-scoped hop distances ``u → ids`` in one vectorized read.
+
+        Values beyond the radius come back as −1 — callers pass
+        neighborhood members (DSQ/resource zone lookups), which are
+        in-band by construction.
+        """
+        return self.substrate.band()[u, np.asarray(ids, dtype=np.int64)]
 
     def path_within(self, u: int, v: int) -> Optional[List[int]]:
         """A hop-optimal path u→v if ``v`` is inside u's neighborhood.
@@ -131,4 +152,4 @@ class NeighborhoodTables:
         return bool(self.membership[u, ids].any())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"NeighborhoodTables(R={self.radius}, epoch={self._epoch})"
+        return f"NeighborhoodTables(R={self.radius}, epoch={self.substrate.epoch})"

@@ -493,3 +493,82 @@ class TestLayering:
             text=True,
         )
         assert proc.returncode == 0, proc.stderr
+
+
+# ----------------------------------------------------------------------
+class TestSharding:
+    def test_shards_partition_the_grid(self):
+        spec = tiny_spec()
+        all_keys = [k for k, _ in CampaignRunner(spec).cells()]
+        seen: list = []
+        for i in (1, 2, 3):
+            shard_keys = [
+                k for k, _ in CampaignRunner(spec, shard=(i, 3)).cells()
+            ]
+            assert not set(shard_keys) & set(seen)  # disjoint
+            seen.extend(shard_keys)
+        assert sorted(seen) == sorted(all_keys)  # complete
+
+    def test_shard_assignment_is_stable(self):
+        spec = tiny_spec()
+        first = [k for k, _ in CampaignRunner(spec, shard=(2, 3)).cells()]
+        again = [k for k, _ in CampaignRunner(spec, shard=(2, 3)).cells()]
+        assert first == again
+
+    def test_invalid_shards_rejected(self):
+        spec = tiny_spec()
+        for bad in [(0, 3), (4, 3), (1, 0), (-1, 2)]:
+            with pytest.raises(ValueError):
+                CampaignRunner(spec, shard=bad)
+
+    def test_sharded_stores_concatenate(self, tmp_path):
+        spec = tiny_spec()
+        paths = []
+        for i in (1, 2):
+            store_path = tmp_path / f"s{i}.jsonl"
+            store = ResultStore(store_path)
+            report = CampaignRunner(spec, store=store, shard=(i, 2)).run()
+            assert report.ok and report.executed > 0
+            paths.append(store_path)
+        merged = tmp_path / "merged.jsonl"
+        merged.write_bytes(b"".join(p.read_bytes() for p in paths))
+        status = CampaignRunner(spec, store=ResultStore(merged)).status()
+        assert status["done"] == status["total"]
+        assert not status["missing"]
+
+    def test_single_shard_is_whole_campaign(self):
+        spec = tiny_spec()
+        assert len(CampaignRunner(spec, shard=(1, 1)).cells()) == len(
+            CampaignRunner(spec).cells()
+        )
+
+    def test_cli_shard_flag(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        campaign_main(["example", "--tiny", "--out", str(spec_path)])
+        capsys.readouterr()
+        s1 = tmp_path / "s1.jsonl"
+        s2 = tmp_path / "s2.jsonl"
+        assert campaign_main(
+            ["run", str(spec_path), "--shard", "1/2", "--store", str(s1)]
+        ) == 0
+        assert "1 executed" in capsys.readouterr().out
+        assert campaign_main(
+            ["run", str(spec_path), "--shard", "2/2", "--store", str(s2)]
+        ) == 0
+        capsys.readouterr()
+        merged = tmp_path / "merged.jsonl"
+        merged.write_bytes(s1.read_bytes() + s2.read_bytes())
+        assert campaign_main(
+            ["status", str(spec_path), "--store", str(merged)]
+        ) == 0
+        assert "2/2 done" in capsys.readouterr().out
+
+    def test_cli_shard_errors(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        campaign_main(["example", "--tiny", "--out", str(spec_path)])
+        capsys.readouterr()
+        for bad in ("3", "0/2", "3/2", "a/b"):
+            assert campaign_main(
+                ["run", str(spec_path), "--shard", bad]
+            ) == 1
+            assert "invalid --shard" in capsys.readouterr().err
