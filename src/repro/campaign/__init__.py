@@ -4,20 +4,29 @@ The paper's evaluation is a grid — scenarios × protocol parameters ×
 seeds — and this package turns such grids into first-class, declarative
 objects instead of bespoke per-figure loops:
 
-* :mod:`repro.campaign.spec` — :class:`CampaignSpec` describes the grid;
-  every expanded :class:`CellSpec` is content-hashed for stable identity;
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` describes the grid
+  (plus :class:`CaseSpec` labeled variants for sweeps a Cartesian
+  product can't express); every expanded :class:`CellSpec` is
+  content-hashed for stable identity.  Cells come in two regimes:
+  *snapshot* (static topology) and *time series* (a ``duration`` plus a
+  declarative :class:`MobilitySpec` runs the full mobility + maintenance
+  stack, recording binned ``series``/``contacts``/``churn`` metric
+  families);
 * :mod:`repro.campaign.runner` — :class:`CampaignRunner` fans cells out
   over a process pool (``n_workers=1`` = deterministic in-process run);
 * :mod:`repro.campaign.store` — :class:`ResultStore`, an append-only
   JSONL store giving crash-safe persistence, cache hits and ``resume``;
 * :mod:`repro.campaign.aggregate` — group-by / mean / CI reduction of
   stored cells back into :class:`~repro.experiments.base.ExperimentResult`
-  tables;
-* :mod:`repro.campaign.figures` — ``fig07``/``table1`` expressed as
-  campaign specs, matching the legacy runners' numbers;
-* ``python -m repro.campaign run|resume|status|report <spec.json>`` —
-  the command-line workflow (see ``--help``; ``example`` emits a starter
-  spec).
+  tables, plus the label → metrics join the figure reducers use;
+* :mod:`repro.campaign.figures` — **every** registered experiment
+  (Table 1, Figs 3-15, the ablations and extensions) expressed as a
+  campaign spec + reducer whose output is bit-identical to the legacy
+  runner (registered as ``<id>_campaign``, enforced by
+  ``pytest -m parity``);
+* ``python -m repro.campaign run|resume|status|report|figure`` — the
+  command-line workflow (see ``--help``; ``figure <id>`` regenerates any
+  paper artifact, ``report --format csv|json`` feeds external plotting).
 
 Quickstart
 ----------
@@ -37,7 +46,9 @@ Quickstart
 
 from repro.campaign.spec import (
     CampaignSpec,
+    CaseSpec,
     CellSpec,
+    MobilitySpec,
     TopologySpec,
     content_hash,
 )
@@ -51,7 +62,9 @@ from repro.campaign.runner import (
 
 __all__ = [
     "CampaignSpec",
+    "CaseSpec",
     "CellSpec",
+    "MobilitySpec",
     "TopologySpec",
     "content_hash",
     "ResultStore",
@@ -63,14 +76,29 @@ __all__ = [
     "aggregate",
     "aggregate_table",
     "stored_records",
+    "labeled_metrics",
     "unique_cells",
     "figures",
+    "CAMPAIGN_FIGURES",
+    "campaign_figure_ids",
+    "get_figure_port",
     "run_fig07_campaign",
     "run_table1_campaign",
 ]
 
-_LAZY_AGGREGATE = ("aggregate_table", "stored_records", "unique_cells")
-_LAZY_FIGURES = ("run_fig07_campaign", "run_table1_campaign")
+_LAZY_AGGREGATE = (
+    "aggregate_table",
+    "stored_records",
+    "labeled_metrics",
+    "unique_cells",
+)
+_LAZY_FIGURES = (
+    "CAMPAIGN_FIGURES",
+    "campaign_figure_ids",
+    "get_figure_port",
+    "run_fig07_campaign",
+    "run_table1_campaign",
+)
 
 
 def __getattr__(name):
@@ -88,7 +116,12 @@ def __getattr__(name):
         import repro.campaign.aggregate as aggregate
 
         return aggregate if name == "aggregate" else getattr(aggregate, name)
-    if name == "figures" or name in _LAZY_FIGURES:
+    if (
+        name == "figures"
+        or name in _LAZY_FIGURES
+        or (name.startswith("run_") and name.endswith("_campaign"))
+        or (name.endswith("_spec") and not name.startswith("_"))
+    ):
         import repro.campaign.figures as figures
 
         return figures if name == "figures" else getattr(figures, name)

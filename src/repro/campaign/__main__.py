@@ -9,12 +9,23 @@ workers, then prove the second invocation is pure cache::
     python -m repro.campaign run sweep.json --workers 4
     python -m repro.campaign resume sweep.json      # 0 executed
     python -m repro.campaign status sweep.json
-    python -m repro.campaign report sweep.json
+    python -m repro.campaign report sweep.json --format csv
+
+Regenerate a paper artifact: ``figure <id>`` writes the figure's
+declarative spec (``--out``) for the run/resume/--shard workflow, or —
+without ``--out`` — executes the missing cells against ``--store`` and
+prints the exact legacy table::
+
+    python -m repro.campaign figure fig10 --out fig10.json --scale 0.5
+    python -m repro.campaign run fig10.json --store fig10.jsonl --workers 4
+    python -m repro.campaign figure fig10 --store fig10.jsonl --scale 0.5
 
 The result store defaults to ``<spec>.results.jsonl`` next to the spec
 file; pass ``--store`` to share one store between campaigns.  Stores are
 append-only JSONL keyed by cell content hash — interrupting a run loses
 at most the cell in flight, and re-running skips everything stored.
+Because the key covers only cell *content*, overlapping figures share
+work: e.g. fig12 re-reads fig11's cells from a shared store.
 
 Distributed fan-out: ``--shard i/n`` makes an invocation responsible for
 the i-th of n disjoint slices of the cell grid (1-based).  Run each shard
@@ -32,6 +43,8 @@ coordination::
 from __future__ import annotations
 
 import argparse
+import csv
+import inspect
 import json
 import os
 import sys
@@ -44,6 +57,8 @@ from repro.campaign.spec import CampaignSpec, TopologySpec
 from repro.campaign.store import ResultStore
 
 __all__ = ["main"]
+
+REPORT_FORMATS = ("ascii", "csv", "json")
 
 
 def _default_store(spec_path: Path) -> Path:
@@ -126,12 +141,90 @@ def _cmd_status(args) -> int:
     return 0 if not missing else 2
 
 
+def _validate_format(fmt: str) -> str:
+    """Reject unknown formats with the CLI's clean one-liner style
+    (not argparse choices, whose error is a usage dump + exit 2)."""
+    if fmt not in REPORT_FORMATS:
+        raise ValueError(
+            f"unknown report format {fmt!r} "
+            f"(expected one of {', '.join(REPORT_FORMATS)})"
+        )
+    return fmt
+
+
+def _render_report(result, fmt: str) -> str:
+    """One aggregated table in the requested (validated) format."""
+    _validate_format(fmt)
+    if fmt == "ascii":
+        return result.render()
+    if fmt == "csv":
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+        return buf.getvalue().rstrip("\n")
+    return json.dumps(
+        {
+            "exp_id": result.exp_id,
+            "title": result.title,
+            "headers": result.headers,
+            "rows": result.rows,
+            "notes": result.notes,
+        },
+        indent=2,
+    )
+
+
 def _cmd_report(args) -> int:
+    fmt = _validate_format(args.format)  # fail before touching the store
     spec, store, _ = _load(args)
     by = args.by.split(",") if args.by else None
     values = args.values.split(",") if args.values else None
     result = aggregate_table(spec, store, by=by, values=values)
+    print(_render_report(result, fmt))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    """Write a figure's spec, or execute + reduce it to the legacy table."""
+    from repro.campaign.figures import get_figure_port
+
+    port = get_figure_port(args.exp_id)
+
+    def filtered(fn, extra):
+        params = inspect.signature(fn).parameters
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        if args.sources is not None:
+            kwargs["num_sources"] = args.sources
+        if args.duration is not None:
+            kwargs["duration"] = args.duration
+        kwargs.update(extra)
+        if any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        ):
+            return kwargs  # fn forwards **kwargs — nothing to filter out
+        return {k: v for k, v in kwargs.items() if k in params}
+
+    if args.out is not None:
+        spec = port.build_spec(**filtered(port.build_spec, {}))
+        out = Path(args.out)
+        spec.save(out)
+        print(f"wrote {spec.num_cells}-cell spec {spec.name!r} to {out}")
+        print(f"run it:  python -m repro.campaign run {out} --workers 4")
+        print(
+            f"render:  python -m repro.campaign figure {args.exp_id} "
+            f"--store {out.with_suffix('.results.jsonl')}"
+        )
+        return 0
+    store = ResultStore(Path(args.store)) if args.store else ResultStore(None)
+    result = port.run(
+        **filtered(port.run, {"store": store, "n_workers": args.workers})
+    )
     print(result.render())
+    if store.path is not None:
+        print(f"store: {store.path} ({len(store)} records)")
     return 0
 
 
@@ -225,6 +318,41 @@ def main(argv: Optional[list] = None) -> int:
     p_report.add_argument(
         "--values", default=None, help="comma-separated metrics to reduce"
     )
+    p_report.add_argument(
+        "--format",
+        default="ascii",
+        metavar="FMT",
+        help="output format: ascii (default), csv or json",
+    )
+    p_figure = sub.add_parser(
+        "figure",
+        help="write a paper figure's spec (--out) or execute+render it",
+    )
+    p_figure.add_argument(
+        "exp_id", help="legacy experiment id (e.g. fig10, table1, smallworld)"
+    )
+    p_figure.add_argument(
+        "--out",
+        default=None,
+        help="write the CampaignSpec JSON here instead of executing",
+    )
+    p_figure.add_argument(
+        "--store",
+        default=None,
+        help="JSONL result store (default: in-memory, nothing persisted)",
+    )
+    p_figure.add_argument("--workers", type=int, default=1, help="process-pool width")
+    p_figure.add_argument("--scale", type=float, default=1.0, help="size scale (0,1]")
+    p_figure.add_argument("--seed", type=int, default=0, help="root seed")
+    p_figure.add_argument(
+        "--sources", type=int, default=None, help="measured source sample size"
+    )
+    p_figure.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds (time-series figures only)",
+    )
     p_example = sub.add_parser("example", help="write a starter spec JSON")
     p_example.add_argument("--out", default="campaign_example.json")
     p_example.add_argument(
@@ -241,6 +369,8 @@ def main(argv: Optional[list] = None) -> int:
             return _cmd_status(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
         return _cmd_example(args)
     except BrokenPipeError:
         # the reader (e.g. `report ... | head`) closed the pipe; park

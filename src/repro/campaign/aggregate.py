@@ -9,6 +9,11 @@ This module provides the generic reduction —
 — so campaign output drops into the same rendering/consumption paths as
 the legacy figure runners (``result.render()``, ``repro.metrics``,
 benchmark assertions on ``result.raw``).
+
+For the per-figure reducers in :mod:`repro.campaign.figures`,
+:func:`labeled_metrics` joins a spec's case labels back to the stored
+metrics of the cells each case expanded into — the lookup every
+"rebuild the legacy table bit-for-bit" reducer starts from.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ __all__ = [
     "CellRecord",
     "unique_cells",
     "stored_records",
+    "labeled_metrics",
     "field_value",
     "mean_ci",
     "group_reduce",
@@ -34,11 +40,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CellRecord:
-    """One stored cell, joined back to its spec."""
+    """One stored cell, joined back to its spec.
+
+    ``label`` is the case label the cell expanded from (None for
+    campaigns without cases) — it is spec-level identity, so it rides on
+    the record rather than the cell.
+    """
 
     key: str
     cell: CellSpec
     metrics: Dict[str, object]
+    label: Optional[str] = None
 
 
 def unique_cells(spec: CampaignSpec) -> Dict[str, "CellSpec"]:
@@ -46,31 +58,77 @@ def unique_cells(spec: CampaignSpec) -> Dict[str, "CellSpec"]:
     return spec.unique_cells()
 
 
+def _unique_labeled(
+    spec: CampaignSpec,
+) -> Dict[str, Tuple[Optional[str], CellSpec]]:
+    """Key → (case label, cell), deduplicated, first occurrence wins."""
+    out: Dict[str, Tuple[Optional[str], CellSpec]] = {}
+    for label, cell in spec.labeled_cells():
+        out.setdefault(cell.key(), (label, cell))
+    return out
+
+
 def stored_records(spec: CampaignSpec, store: ResultStore) -> List[CellRecord]:
     """The spec's cells that ``store`` holds, in expansion order."""
-    return _filter_stored(spec.unique_cells(), store)
-
-
-def _filter_stored(
-    cells: Dict[str, "CellSpec"], store: ResultStore
-) -> List[CellRecord]:
     return [
-        CellRecord(key=key, cell=cell, metrics=metrics)
-        for key, cell in cells.items()
+        CellRecord(key=key, cell=cell, metrics=metrics, label=label)
+        for key, (label, cell) in _unique_labeled(spec).items()
         if (metrics := store.metrics(key)) is not None
     ]
+
+
+def labeled_metrics(
+    spec: CampaignSpec, store: ResultStore
+) -> Dict[str, Dict[str, object]]:
+    """Case label → stored metrics, for single-cell-per-case campaigns.
+
+    This is the reducer-side join used by the figure ports: every case of
+    ``spec`` must have expanded to exactly one cell (one seed), and every
+    cell must be in ``store``.  A missing cell raises with the resume
+    hint; a multi-seed spec raises — averaging over seeds is
+    :func:`group_reduce`'s job, not a bit-for-bit reducer's.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for label, cell in spec.labeled_cells():
+        if label is None:
+            raise ValueError(
+                f"campaign {spec.name!r} has no cases; labeled_metrics needs "
+                "a case-based spec"
+            )
+        if label in out:
+            raise ValueError(
+                f"case {label!r} of campaign {spec.name!r} expands to "
+                "multiple cells (several seeds/topologies); reduce it with "
+                "group_reduce/aggregate_table instead"
+            )
+        metrics = store.metrics(cell.key())
+        if metrics is None:
+            raise KeyError(
+                f"cell {cell.key()[:12]} (case {label!r}) of campaign "
+                f"{spec.name!r} is not in the store — run `resume` to fill "
+                "missing cells"
+            )
+        out[label] = metrics
+    return out
 
 
 def field_value(record: CellRecord, name: str) -> object:
     """Resolve a group-by/value axis against one record.
 
-    Lookup order: the two cell identity axes (``seed``, ``topology``),
-    then the cell's parameter overrides, then the stored metrics.
+    Lookup order: the cell identity axes (``seed``, ``topology``, the
+    ``case`` label), then the cell's parameter overrides, then the
+    stored metrics.
     """
     if name == "seed":
         return record.cell.seed
     if name == "topology":
         return record.cell.topology.label
+    if name == "case":
+        if record.label is None:
+            raise KeyError(
+                "field 'case': this campaign has no cases to group by"
+            )
+        return record.label
     if name in record.cell.params:
         return record.cell.params[name]
     if name in record.metrics:
@@ -162,13 +220,18 @@ def aggregate_table(
 ) -> ExperimentResult:
     """Group-by/mean/CI table over the spec's stored cells.
 
-    Defaults: group on topology plus every grid axis (averaging over
-    seeds), reduce every scalar numeric metric.
+    Defaults: group on topology, the case label (for case-based specs)
+    and every grid axis — i.e. averaging over seeds only — and reduce
+    every scalar numeric metric.
     """
     cells = spec.unique_cells()
-    records = _filter_stored(cells, store)
+    records = stored_records(spec, store)
     if by is None:
-        by = ["topology"] + sorted(spec.grid)
+        by = (
+            ["topology"]
+            + (["case"] if spec.cases else [])
+            + sorted(spec.grid)
+        )
     if values is None:
         values = _default_values(records)
     headers = list(by)

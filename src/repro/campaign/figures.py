@@ -1,20 +1,34 @@
-"""Paper figures expressed as campaign specs (proof of the engine).
+"""Every paper figure/table expressed as a campaign spec + reducer.
 
-``run_fig07`` and ``run_table1`` have campaign-native twins here: the
-figure is *declared* as a :class:`~repro.campaign.spec.CampaignSpec`
-(one cell per swept value), executed through the
+Each registered experiment ``<id>`` has a campaign-native twin
+``<id>_campaign`` here: the artifact is *declared* as a
+:class:`~repro.campaign.spec.CampaignSpec` (one content-hashed cell per
+swept configuration), executed through the
 :class:`~repro.campaign.runner.CampaignRunner` (cached, parallelisable,
-resumable), and assembled back into the exact table the legacy runner
-prints.
+shardable, resumable), and reduced back into the **exact** table the
+legacy runner prints — same headers, same rows, same ASCII plots.  The
+parity matrix in ``tests/test_campaign_figures.py`` enforces the
+bit-for-bit claim for every port, across seeds and worker counts.
 
-The numbers match the legacy path bit-for-bit:
+Why the numbers match the legacy paths exactly:
 
-* fig07 — contact selection is sequential, so an independent NoC=k run
-  equals the first k contacts of the legacy single NoC=max run (the
-  property ``SnapshotRunner.sweep_noc`` documents); topology, source
-  sample and protocol seeds are derived identically;
-* table1 — cells rebuild each scenario through the same
-  ``spawn_rng(seed, "scenario", index)`` stream the legacy loop uses.
+* *distribution figures* (Figs 3-9, 14, smallworld) — contact selection
+  is sequential, so an independent NoC=k cell equals the first k
+  contacts of a legacy NoC=max sweep, including the per-contact message
+  marks (the property ``SnapshotRunner.sweep_noc`` documents); topology,
+  source-sample and protocol seeds are derived identically;
+* *time-series figures* (Figs 10-13, mobility/recovery ablations) — a
+  cell rebuilds the same topology and mobility streams from its own
+  seed, so ``TimeSeriesRunner`` emits the same binned series the legacy
+  loop recorded;
+* *workload figures* (Fig 15, query/failure ablations) — the executor
+  mirrors the legacy construction order (same namespaced RNG streams),
+  one cell per topology/scheme.
+
+Because cells are keyed by content hash, ports overlap in the store:
+``fig12`` re-reads ``fig11``'s cells, ``fig04`` re-reads a prefix of
+``fig03``'s, and a shared ``--store`` turns the whole evaluation into
+one incremental artifact set.
 
 NOTE this module must not import anything under ``repro.experiments``
 (nor :mod:`repro.campaign.aggregate`, which does) at the top level: the
@@ -28,27 +42,538 @@ package — is fully initialised.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.campaign.runner import CampaignRunner
-from repro.campaign.spec import CampaignSpec, TopologySpec
+from repro.campaign.runner import CampaignReport, CampaignRunner
+from repro.campaign.spec import (
+    CampaignSpec,
+    CaseSpec,
+    MobilitySpec,
+    TopologySpec,
+)
 from repro.campaign.store import ResultStore
-from repro.scenarios.factory import scaled
+from repro.scenarios.factory import FIG9_CONFIGS, FIG15_CONFIGS, scaled
 from repro.scenarios.table1 import TABLE1_SCENARIOS
 
 if TYPE_CHECKING:  # pragma: no cover - harness import deferred (see NOTE)
     from repro.experiments.base import ExperimentResult
 
 __all__ = [
+    "CAMPAIGN_FIGURES",
+    "FigurePort",
+    "campaign_figure_ids",
+    "get_figure_port",
+    # spec builders
+    "fig03_04_spec",
+    "fig05_spec",
+    "fig06_spec",
     "fig07_spec",
+    "fig08_spec",
+    "fig09_spec",
+    "fig10_spec",
+    "fig11_spec",
+    "fig12_spec",
+    "fig13_spec",
+    "fig14_spec",
+    "fig15_spec",
     "table1_spec",
+    "ablation_pm_eq_spec",
+    "ablation_overlap_spec",
+    "ablation_recovery_spec",
+    "ablation_query_spec",
+    "ablation_mobility_spec",
+    "ablation_failures_spec",
+    "ablation_edge_policy_spec",
+    "smallworld_spec",
+    # campaign runners (legacy-table-identical reducers)
+    "run_fig03_campaign",
+    "run_fig04_campaign",
+    "run_fig03_04_campaign",
+    "run_fig05_campaign",
+    "run_fig06_campaign",
     "run_fig07_campaign",
+    "run_fig08_campaign",
+    "run_fig09_campaign",
+    "run_fig10_campaign",
+    "run_fig11_campaign",
+    "run_fig12_campaign",
+    "run_fig13_campaign",
+    "run_fig14_campaign",
+    "run_fig15_campaign",
     "run_table1_campaign",
+    "run_ablation_pm_eq_campaign",
+    "run_ablation_overlap_campaign",
+    "run_ablation_recovery_campaign",
+    "run_ablation_query_campaign",
+    "run_ablation_mobility_campaign",
+    "run_ablation_failures_campaign",
+    "run_ablation_edge_policy_campaign",
+    "run_smallworld_campaign",
 ]
 
 
+# ----------------------------------------------------------------------
+# shared machinery
+# ----------------------------------------------------------------------
+def _execute(
+    spec: CampaignSpec,
+    store: Optional[ResultStore],
+    n_workers: int,
+) -> Tuple[ResultStore, CampaignReport]:
+    """Run a figure's spec; raise with the first traceback on failure."""
+    if store is None:
+        store = ResultStore(None)
+    report = CampaignRunner(spec, store=store, n_workers=n_workers).run()
+    if not report.ok:
+        errors = [o.error for o in report.outcomes if o.error]
+        raise RuntimeError(
+            f"{spec.name} campaign had {report.failed} failed cells:\n{errors[0]}"
+        )
+    return store, report
+
+
+def _campaign_note(report: CampaignReport) -> str:
+    return (
+        f"via repro.campaign ({report.executed} cells executed, "
+        f"{report.cached} cached)"
+    )
+
+
+def _labeled(spec: CampaignSpec, store: ResultStore) -> Dict[str, Dict[str, object]]:
+    from repro.campaign.aggregate import labeled_metrics
+
+    return labeled_metrics(spec, store)
+
+
+def _as_campaign(result: "ExperimentResult", report: CampaignReport) -> "ExperimentResult":
+    """Mark a reduced result as the campaign twin of its legacy artifact."""
+    result.exp_id = f"{result.exp_id}_campaign"
+    result.notes = list(result.notes) + [_campaign_note(report)]
+    return result
+
+
+#: default mobility of the Figs 10-12 overhead experiments (moderate RWP)
+def _default_mobility() -> MobilitySpec:
+    from repro.experiments.exp_fig10_13 import DEFAULT_PAUSE, DEFAULT_SPEED
+
+    return MobilitySpec(
+        model="rwp",
+        min_speed=DEFAULT_SPEED[0],
+        max_speed=DEFAULT_SPEED[1],
+        pause=DEFAULT_PAUSE,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figs 3 & 4 — PM vs EM (reachability + backtracking vs NoC)
+# ----------------------------------------------------------------------
+def fig03_04_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    max_noc: int = 9,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Figs 3+4 as a campaign: one cell per (method, NoC) pair."""
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(label=f"{method} NoC={k}", params={"method": method, "noc": k})
+        for method in ("PM", "EM")
+        for k in range(1, max_noc + 1)
+    )
+    return CampaignSpec(
+        name="fig03_04",
+        description="Figs 3 & 4 — PM vs EM reachability and backtracking vs NoC",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="fig03"),),
+        base_params={"R": 3, "r": 20, "depth": 1},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("reachability", "overhead"),
+        num_sources=num_sources,
+    )
+
+
+def run_fig03_04_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    max_noc: int = 9,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Figs 3+4 through the campaign engine (matches ``run_fig03_04``)."""
+    from repro.experiments.exp_fig03_04 import pm_em_table
+
+    spec = fig03_04_spec(
+        scale=scale, seed=seed, max_noc=max_noc, num_sources=num_sources
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    noc_values = list(range(1, max_noc + 1))
+    sweeps: Dict[str, List[tuple]] = {}
+    for method in ("PM", "EM"):
+        sweeps[method] = [
+            (
+                int(k),
+                float(m["mean_reachability"]),
+                float(m["selection_msgs_per_source"]),
+                float(m["backtrack_msgs_per_source"]),
+            )
+            for k in noc_values
+            for m in [by_label[f"{method} NoC={k}"]]
+        ]
+    result = pm_em_table(noc_values, sweeps["PM"], sweeps["EM"], scale=scale)
+    return _as_campaign(result, report)
+
+
+def run_fig03_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    max_noc: int = 9,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 3 alone through the campaign engine."""
+    res = run_fig03_04_campaign(
+        scale=scale, seed=seed, max_noc=max_noc, num_sources=num_sources,
+        store=store, n_workers=n_workers,
+    )
+    res.exp_id = "fig03_campaign"
+    return res
+
+
+def run_fig04_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    max_noc: int = 5,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 4 alone (NoC=1..5, a cache-shared prefix of Fig 3's cells)."""
+    res = run_fig03_04_campaign(
+        scale=scale, seed=seed, max_noc=max_noc, num_sources=num_sources,
+        store=store, n_workers=n_workers,
+    )
+    res.exp_id = "fig04_campaign"
+    return res
+
+
+# ----------------------------------------------------------------------
+# Figs 5/6/8 — reachability distributions over R / r / D
+# ----------------------------------------------------------------------
+def fig05_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    r: int = 16,
+    noc: int = 10,
+    radii: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Fig 5 as a campaign: one cell per (runnable) neighborhood radius."""
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(label=f"R={R}", params={"R": R})
+        for R in radii
+        if 2 * R <= r
+    )
+    if not cases:
+        raise ValueError(
+            f"no runnable radius in {tuple(radii)}: every R violates r>=2R "
+            f"(r={r})"
+        )
+    return CampaignSpec(
+        name="fig05",
+        description="Fig 5 — Effect of Neighborhood Radius (R) on Reachability",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="fig05"),),
+        base_params={"r": r, "noc": noc, "depth": 1},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("reachability",),
+        num_sources=num_sources,
+    )
+
+
+def _distribution_reduce(
+    spec: CampaignSpec,
+    store: ResultStore,
+    *,
+    exp_id: str,
+    title: str,
+    notes: List[str],
+    plot_key: Optional[str],
+) -> "ExperimentResult":
+    """Shared Figs 5-9 reducer: stored cells → bins × sweep-values table."""
+    from repro.experiments.exp_fig05_09 import distribution_table
+
+    by_label = _labeled(spec, store)
+    columns = {
+        label: np.asarray(m["distribution"], dtype=np.int64)
+        for label, m in by_label.items()
+    }
+    means = {label: float(m["mean_reachability"]) for label, m in by_label.items()}
+    return distribution_table(
+        columns,
+        means,
+        exp_id=exp_id,
+        title=title,
+        notes=notes,
+        plot_key=plot_key,
+    )
+
+
+def run_fig05_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    r: int = 16,
+    noc: int = 10,
+    radii: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 5 through the campaign engine (matches ``run_fig05``)."""
+    n = scaled(500, scale, minimum=80)
+    spec = fig05_spec(
+        scale=scale, seed=seed, r=r, noc=noc, radii=radii, num_sources=num_sources
+    )
+    store, report = _execute(spec, store, n_workers)
+    skipped = [R for R in radii if 2 * R > r]
+    notes = [
+        "paper: distribution shifts right as R grows, then collapses once "
+        "2R approaches r (contact region vanishes)",
+        f"N={n}, r={r}, NoC={noc}, D=1",
+    ]
+    if skipped:
+        notes.append(f"radii {skipped} violate r>=2R and are not runnable")
+    labels = [c.label for c in spec.cases]
+    result = _distribution_reduce(
+        spec,
+        store,
+        exp_id="fig05",
+        title="Fig 5 — Effect of Neighborhood Radius (R) on Reachability",
+        notes=notes,
+        plot_key=labels[-1] if labels else None,
+    )
+    return _as_campaign(result, report)
+
+
+def fig06_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    noc: int = 10,
+    deltas: Sequence[int] = (0, 2, 4, 6, 8, 10, 12),
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Fig 6 as a campaign: one cell per maximum contact distance r."""
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(
+            label=f"r=2R+{d}" if d else "r=2R",
+            params={"r": 2 * R + d},
+        )
+        for d in deltas
+    )
+    return CampaignSpec(
+        name="fig06",
+        description="Fig 6 — Effect of Maximum Contact Distance (r) on Reachability",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="fig06"),),
+        base_params={"R": R, "noc": noc, "depth": 1},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("reachability",),
+        num_sources=num_sources,
+    )
+
+
+def run_fig06_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    noc: int = 10,
+    deltas: Sequence[int] = (0, 2, 4, 6, 8, 10, 12),
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 6 through the campaign engine (matches ``run_fig06``)."""
+    n = scaled(500, scale, minimum=80)
+    spec = fig06_spec(
+        scale=scale, seed=seed, R=R, noc=noc, deltas=deltas, num_sources=num_sources
+    )
+    store, report = _execute(spec, store, n_workers)
+    result = _distribution_reduce(
+        spec,
+        store,
+        exp_id="fig06",
+        title="Fig 6 — Effect of Maximum Contact Distance (r) on Reachability",
+        notes=[
+            "paper: reachability grows with r, with little further gain beyond "
+            "r = 2R+8 (non-overlapping contacts are equivalent wherever they sit)",
+            f"N={n}, R={R}, NoC={noc}, D=1",
+        ],
+        plot_key=spec.cases[-1].label,
+    )
+    return _as_campaign(result, report)
+
+
+def fig08_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 10,
+    noc: int = 10,
+    depths: Sequence[int] = (1, 2, 3),
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Fig 8 as a campaign: one full-selection cell per search depth.
+
+    Depth-D reachability follows contacts of contacts, so every cell
+    bootstraps *all* nodes (``full_selection``) and ``num_sources`` only
+    bounds the measured sample — exactly the legacy runner's regime.
+    """
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(label=f"D={d}", params={"depth": int(d)}) for d in depths
+    )
+    return CampaignSpec(
+        name="fig08",
+        description="Fig 8 — Effect of Depth of Search (D) on Reachability",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="fig08"),),
+        base_params={"R": R, "r": r, "noc": noc},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("reachability",),
+        num_sources=num_sources,
+        full_selection=True,
+    )
+
+
+def run_fig08_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 10,
+    noc: int = 10,
+    depths: Sequence[int] = (1, 2, 3),
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 8 through the campaign engine (matches ``run_fig08``)."""
+    n = scaled(500, scale, minimum=80)
+    spec = fig08_spec(
+        scale=scale, seed=seed, R=R, r=r, noc=noc, depths=depths,
+        num_sources=num_sources,
+    )
+    store, report = _execute(spec, store, n_workers)
+    result = _distribution_reduce(
+        spec,
+        store,
+        exp_id="fig08",
+        title="Fig 8 — Effect of Depth of Search (D) on Reachability",
+        notes=[
+            "paper: reachability rises sharply with D — contacts form a tree, "
+            "making CARD scalable",
+            f"N={n}, R={R}, r={r}, NoC={noc}",
+        ],
+        plot_key=f"D={max(depths)}",
+    )
+    return _as_campaign(result, report)
+
+
+# ----------------------------------------------------------------------
+# Fig 9 — density-matched sizes with per-size tuned parameters
+# ----------------------------------------------------------------------
+def _sized_topology(
+    cfg, scale: float, salt_prefix: str
+) -> Tuple[int, TopologySpec]:
+    """A Fig 9/15 configuration's topology, density-matched when scaled."""
+    n = scaled(cfg.num_nodes, scale, minimum=60)
+    side = (
+        cfg.area[0] * float(np.sqrt(n / cfg.num_nodes))
+        if n != cfg.num_nodes
+        else cfg.area[0]
+    )
+    return n, TopologySpec(
+        kind="explicit",
+        num_nodes=n,
+        area=(side, side),
+        tx_range=50.0,
+        salt=(salt_prefix, cfg.num_nodes),
+    )
+
+
+def fig09_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Fig 9 as a campaign: one cell per density-matched network size."""
+    cases = []
+    for cfg in FIG9_CONFIGS:
+        _, topo = _sized_topology(cfg, scale, "fig09")
+        cases.append(
+            CaseSpec(
+                label=f"N={cfg.num_nodes}",
+                params={"R": cfg.R, "r": cfg.r, "noc": cfg.noc, "depth": 1},
+                topology=topo,
+            )
+        )
+    return CampaignSpec(
+        name="fig09",
+        description="Fig 9 — Reachability for different network sizes",
+        cases=tuple(cases),
+        seeds=(seed,),
+        metrics=("reachability",),
+        num_sources=num_sources,
+    )
+
+
+def run_fig09_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 9 through the campaign engine (matches ``run_fig09``)."""
+    spec = fig09_spec(scale=scale, seed=seed, num_sources=num_sources)
+    store, report = _execute(spec, store, n_workers)
+    result = _distribution_reduce(
+        spec,
+        store,
+        exp_id="fig09",
+        title="Fig 9 — Reachability for different network sizes",
+        notes=[
+            "paper: with per-size (R, r, NoC) tuning, every size achieves a "
+            "distribution concentrated at high reachability",
+            "density held constant across sizes (area scales with N)",
+            "configs: " + "; ".join(c.label for c in FIG9_CONFIGS),
+        ],
+        plot_key=f"N={FIG9_CONFIGS[-1].num_nodes}",
+    )
+    return _as_campaign(result, report)
+
+
+# ----------------------------------------------------------------------
+# Fig 7 — NoC sweep (the original engine proof, unchanged numbers)
 # ----------------------------------------------------------------------
 def fig07_spec(
     *,
@@ -96,15 +621,7 @@ def run_fig07_campaign(
         noc_values=noc_values,
         num_sources=num_sources,
     )
-    if store is None:
-        store = ResultStore(None)
-    runner = CampaignRunner(spec, store=store, n_workers=n_workers)
-    report = runner.run()
-    if not report.ok:
-        errors = [o.error for o in report.outcomes if o.error]
-        raise RuntimeError(
-            f"fig07 campaign had {report.failed} failed cells:\n{errors[0]}"
-        )
+    store, report = _execute(spec, store, n_workers)
     columns = {}
     means = {}
     n = spec.topologies[0].num_nodes
@@ -130,6 +647,489 @@ def run_fig07_campaign(
     )
 
 
+# ----------------------------------------------------------------------
+# Figs 10-12 — maintenance overhead over time (the time-series regime)
+# ----------------------------------------------------------------------
+def fig10_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    noc_values: Sequence[int] = (3, 4, 5, 7),
+    duration: float = 10.0,
+    R: int = 3,
+    r: int = 10,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Fig 10 as a campaign: one time-series cell per NoC value."""
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(
+            label=f"NoC={k}",
+            params={"noc": int(k)},
+            topology=TopologySpec(
+                kind="standard", num_nodes=n, salt=("fig10", int(k))
+            ),
+        )
+        for k in noc_values
+    )
+    return CampaignSpec(
+        name="fig10",
+        description="Fig 10 — Effect of Number of Contacts (NoC) on Overhead",
+        base_params={"R": R, "r": r},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("series",),
+        num_sources=num_sources,
+        duration=duration,
+        mobility=_default_mobility(),
+    )
+
+
+def run_fig10_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    noc_values: Sequence[int] = (3, 4, 5, 7),
+    duration: float = 10.0,
+    R: int = 3,
+    r: int = 10,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 10 through the campaign engine (matches ``run_fig10``)."""
+    from repro.experiments.exp_fig10_13 import (
+        DEFAULT_PAUSE,
+        DEFAULT_SPEED,
+        series_table,
+    )
+
+    n = scaled(500, scale, minimum=80)
+    spec = fig10_spec(
+        scale=scale, seed=seed, noc_values=noc_values, duration=duration,
+        R=R, r=r, num_sources=num_sources,
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    labels = [c.label for c in spec.cases]
+    result = series_table(
+        by_label[labels[0]]["times"],
+        {l: by_label[l]["overhead"] for l in labels},
+        exp_id="fig10",
+        title="Fig 10 — Effect of Number of Contacts (NoC) on Overhead",
+        ylabel="control msgs / node / 2s window",
+        notes=[
+            "paper: overhead rises sharply with NoC (more contacts to validate)",
+            f"N={n}, R={R}, r={r}, D=1, RWP speeds {DEFAULT_SPEED} m/s, "
+            f"pause {DEFAULT_PAUSE}s",
+        ],
+        raw={l: by_label[l] for l in labels},
+    )
+    return _as_campaign(result, report)
+
+
+def fig11_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    r_values: Sequence[int] = (8, 9, 10, 12, 15),
+    duration: float = 10.0,
+    R: int = 3,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+    name: str = "fig11",
+) -> CampaignSpec:
+    """Figs 11/12 as a campaign: one time-series cell per contact distance.
+
+    Fig 12 is the backtracking view of the *same* runs, so
+    ``fig12_spec`` shares these cells — a shared store computes them
+    once.
+    """
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(
+            label=f"r={rv}",
+            params={"r": int(rv)},
+            topology=TopologySpec(
+                kind="standard", num_nodes=n, salt=("fig11", int(rv))
+            ),
+        )
+        for rv in r_values
+    )
+    return CampaignSpec(
+        name=name,
+        description="Figs 11/12 — Effect of Maximum Contact Distance (r) on Overhead",
+        base_params={"R": R, "noc": noc},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("series",),
+        num_sources=num_sources,
+        duration=duration,
+        mobility=_default_mobility(),
+    )
+
+
+def fig12_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    r_values: Sequence[int] = (8, 9, 10, 12, 15),
+    duration: float = 10.0,
+    R: int = 3,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+    name: str = "fig12",
+) -> CampaignSpec:
+    """Fig 12 — identical cells to ``fig11_spec`` (shared by content hash)."""
+    return fig11_spec(
+        scale=scale, seed=seed, r_values=r_values, duration=duration,
+        R=R, noc=noc, num_sources=num_sources, name=name,
+    )
+
+
+def _fig11_12_reduce(
+    spec: CampaignSpec,
+    store: ResultStore,
+    *,
+    series_name: str,
+    exp_id: str,
+    title: str,
+    ylabel: str,
+    notes: List[str],
+) -> "ExperimentResult":
+    from repro.experiments.exp_fig10_13 import series_table
+
+    by_label = _labeled(spec, store)
+    labels = [c.label for c in spec.cases]
+    return series_table(
+        by_label[labels[0]]["times"],
+        {l: by_label[l][series_name] for l in labels},
+        exp_id=exp_id,
+        title=title,
+        ylabel=ylabel,
+        notes=notes,
+        raw={l: by_label[l] for l in labels},
+    )
+
+
+def run_fig11_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    r_values: Sequence[int] = (8, 9, 10, 12, 15),
+    duration: float = 10.0,
+    R: int = 3,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 11 through the campaign engine (matches ``run_fig11``)."""
+    n = scaled(500, scale, minimum=80)
+    spec = fig11_spec(
+        scale=scale, seed=seed, r_values=r_values, duration=duration,
+        R=R, noc=noc, num_sources=num_sources,
+    )
+    store, report = _execute(spec, store, n_workers)
+    result = _fig11_12_reduce(
+        spec,
+        store,
+        series_name="overhead",
+        exp_id="fig11",
+        title="Fig 11 — Effect of Maximum Contact Distance (r) on Total Overhead",
+        ylabel="control msgs / node / 2s window",
+        notes=[
+            "paper: total overhead *decreases* with r — wider contact band "
+            "slashes re-selection backtracking (see Fig 12)",
+            f"N={n}, R={R}, NoC={noc}, D=1",
+        ],
+    )
+    return _as_campaign(result, report)
+
+
+def run_fig12_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    r_values: Sequence[int] = (8, 9, 10, 12, 15),
+    duration: float = 10.0,
+    R: int = 3,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 12 through the campaign engine (matches ``run_fig12``)."""
+    n = scaled(500, scale, minimum=80)
+    spec = fig12_spec(
+        scale=scale, seed=seed, r_values=r_values, duration=duration,
+        R=R, noc=noc, num_sources=num_sources,
+    )
+    store, report = _execute(spec, store, n_workers)
+    result = _fig11_12_reduce(
+        spec,
+        store,
+        series_name="backtracking",
+        exp_id="fig12",
+        title="Fig 12 — Effect of Maximum Contact Distance (r) on Backtracking",
+        ylabel="backtracking msgs / node / 2s window",
+        notes=[
+            "paper: backtracking overhead drops sharply as r grows — the "
+            "driver behind Fig 11's total-overhead decrease",
+            f"N={n}, R={R}, NoC={noc}, D=1",
+        ],
+    )
+    return _as_campaign(result, report)
+
+
+def fig13_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    duration: float = 20.0,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Fig 13 as a campaign: one long time-series stability cell."""
+    from repro.experiments.exp_fig10_13 import (
+        DEFAULT_PAUSE,
+        FIG13_SPEED,
+        fig13_hop_params,
+    )
+
+    n = scaled(250, scale, minimum=60)
+    R, r = fig13_hop_params(n)
+    return CampaignSpec(
+        name="fig13",
+        description="Fig 13 — Variation of overhead with time",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="fig13"),),
+        base_params={"R": R, "r": r, "noc": 6},
+        cases=(CaseSpec(label="fig13"),),
+        seeds=(seed,),
+        metrics=("series", "contacts"),
+        num_sources=num_sources,
+        duration=duration,
+        mobility=MobilitySpec(
+            model="rwp",
+            min_speed=FIG13_SPEED[0],
+            max_speed=FIG13_SPEED[1],
+            pause=DEFAULT_PAUSE,
+        ),
+    )
+
+
+def run_fig13_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    duration: float = 20.0,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 13 through the campaign engine (matches ``run_fig13``)."""
+    from repro.experiments.exp_fig10_13 import fig13_hop_params, fig13_table
+
+    n = scaled(250, scale, minimum=60)
+    R, r = fig13_hop_params(n)
+    spec = fig13_spec(
+        scale=scale, seed=seed, duration=duration, num_sources=num_sources
+    )
+    store, report = _execute(spec, store, n_workers)
+    metrics = _labeled(spec, store)["fig13"]
+    result = fig13_table(
+        metrics["times"],
+        metrics["maintenance"],
+        metrics["total_contacts"],
+        metrics["lost_per_bin"],
+        n=n,
+        R=R,
+        r=r,
+        raw={"series": metrics},
+    )
+    return _as_campaign(result, report)
+
+
+# ----------------------------------------------------------------------
+# Fig 14 — reachability vs overhead trade-off
+# ----------------------------------------------------------------------
+def fig14_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 10,
+    max_noc: int = 10,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Fig 14 as a campaign: one cell per NoC, with trade-off extras."""
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(label=f"NoC={k}", params={"noc": k})
+        for k in range(0, max_noc + 1)
+    )
+    return CampaignSpec(
+        name="fig14",
+        description="Fig 14 — Trade-off between reachability and contact overhead",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="fig14"),),
+        base_params={"R": R, "r": r, "depth": 1},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("reachability", "overhead", "tradeoff"),
+        num_sources=num_sources,
+    )
+
+
+def run_fig14_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 10,
+    max_noc: int = 10,
+    validation_rounds: int = 5,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 14 through the campaign engine (matches ``run_fig14``).
+
+    The maintenance weight (``validation_rounds`` cycles over each
+    source's stored routes) is applied at reduce time from the stored
+    per-source route hops, so one store serves any rounds setting.
+    """
+    from repro.experiments.exp_fig14_15 import tradeoff_table
+
+    n = scaled(500, scale, minimum=80)
+    spec = fig14_spec(
+        scale=scale, seed=seed, R=R, r=r, max_noc=max_noc,
+        num_sources=num_sources,
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    noc_values = list(range(0, max_noc + 1))
+    reach: List[float] = []
+    overhead: List[float] = []
+    frac50: List[float] = []
+    for k in noc_values:
+        m = by_label[f"NoC={k}"]
+        fwd = float(m["selection_msgs_per_source"])
+        back = float(m["backtrack_msgs_per_source"])
+        maint = [validation_rounds * int(h) for h in m["route_hops"]]
+        overhead.append(fwd + back + float(np.mean(maint) if maint else 0.0))
+        reach.append(float(m["mean_reachability"]))
+        frac50.append(float(m["frac_ge50"]))
+    result = tradeoff_table(
+        noc_values,
+        reach,
+        overhead,
+        frac50,
+        n=n,
+        R=R,
+        r=r,
+        validation_rounds=validation_rounds,
+        raw={"noc": noc_values, "reach": reach, "overhead": overhead},
+    )
+    return _as_campaign(result, report)
+
+
+# ----------------------------------------------------------------------
+# Fig 15 — CARD vs flooding vs bordercasting
+# ----------------------------------------------------------------------
+def fig15_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_queries: int = 50,
+    depth: int = 3,
+    num_sizes: Optional[Sequence[int]] = None,
+) -> CampaignSpec:
+    """Fig 15 as a campaign: one comparison cell per network size."""
+    sizes = (
+        list(num_sizes)
+        if num_sizes is not None
+        else [c.num_nodes for c in FIG15_CONFIGS]
+    )
+    cases = []
+    for cfg in FIG15_CONFIGS:
+        if cfg.num_nodes not in sizes:
+            continue
+        _, topo = _sized_topology(cfg, scale, "fig15")
+        cases.append(
+            CaseSpec(
+                label=f"N={cfg.num_nodes}",
+                params={"R": cfg.R, "r": cfg.r, "noc": cfg.noc, "depth": depth},
+                topology=topo,
+            )
+        )
+    return CampaignSpec(
+        name="fig15",
+        description="Fig 15 — Comparison of CARD with flooding and bordercasting",
+        cases=tuple(cases),
+        seeds=(seed,),
+        metrics=("comparison",),
+        workload={"num_queries": num_queries},
+    )
+
+
+def run_fig15_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_queries: int = 50,
+    depth: int = 3,
+    num_sizes: Optional[Sequence[int]] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Fig 15 through the campaign engine (matches ``run_fig15``)."""
+    from repro.experiments.exp_fig14_15 import fig15_table
+
+    spec = fig15_spec(
+        scale=scale, seed=seed, num_queries=num_queries, depth=depth,
+        num_sizes=num_sizes,
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    sizes = (
+        list(num_sizes)
+        if num_sizes is not None
+        else [c.num_nodes for c in FIG15_CONFIGS]
+    )
+    rows: List[List[object]] = []
+    raw: Dict[str, object] = {}
+    series: Dict[str, List[float]] = {
+        "Flooding": [], "Bordercasting": [], "CARD": [],
+    }
+    prefix_of = {"Flooding": "flood", "Bordercasting": "border", "CARD": "card"}
+    for cfg in FIG15_CONFIGS:
+        if cfg.num_nodes not in sizes:
+            continue
+        n = scaled(cfg.num_nodes, scale, minimum=60)
+        m = by_label[f"N={cfg.num_nodes}"]
+        rows.append(
+            [
+                cfg.num_nodes if scale == 1.0 else n,
+                int(m["flood_msgs"]),
+                int(m["border_msgs"]),
+                int(m["card_msgs"]),
+                int(m["flood_events"]),
+                int(m["border_events"]),
+                int(m["card_events"]),
+                int(m["card_prepare_msgs"]),
+                round(100 * float(m["flood_success_rate"]), 1),
+                round(100 * float(m["border_success_rate"]), 1),
+                round(100 * float(m["card_success_rate"]), 1),
+            ]
+        )
+        for name in series:
+            series[name].append(float(m[f"{prefix_of[name]}_events"]))
+        raw[f"N={cfg.num_nodes}"] = m
+    result = fig15_table(rows, series, num_queries=num_queries, raw=raw)
+    return _as_campaign(result, report)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — scenario connectivity statistics
 # ----------------------------------------------------------------------
 def table1_spec(
     *,
@@ -173,15 +1173,7 @@ def run_table1_campaign(
     )
 
     spec = table1_spec(scale=scale, seed=seed)
-    if store is None:
-        store = ResultStore(None)
-    runner = CampaignRunner(spec, store=store, n_workers=n_workers)
-    report = runner.run()
-    if not report.ok:
-        errors = [o.error for o in report.outcomes if o.error]
-        raise RuntimeError(
-            f"table1 campaign had {report.failed} failed cells:\n{errors[0]}"
-        )
+    store, report = _execute(spec, store, n_workers)
     rows = []
     raw = {}
     by_scenario = {c.topology.scenario: c for c in spec.expand()}
@@ -201,10 +1193,7 @@ def run_table1_campaign(
         )
         raw[f"scenario{sc.index}"] = metrics
     notes = table1_notes(scale)
-    notes.append(
-        f"via repro.campaign ({report.executed} cells executed, "
-        f"{report.cached} cached)"
-    )
+    notes.append(_campaign_note(report))
     return ExperimentResult(
         exp_id="table1_campaign",
         title="Table 1 — Scenario connectivity statistics (paper vs measured)",
@@ -213,3 +1202,604 @@ def run_table1_campaign(
         notes=notes,
         raw=raw,
     )
+
+
+# ----------------------------------------------------------------------
+# ablations + extensions
+# ----------------------------------------------------------------------
+def ablation_pm_eq_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 20,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """PM eq.(1)/eq.(2)/EM admission variants as campaign cells."""
+    from repro.experiments.exp_ablations import PM_EQ_VARIANTS
+
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(label=label, params=dict(overrides))
+        for label, overrides in PM_EQ_VARIANTS
+    )
+    return CampaignSpec(
+        name="ablation_pm_eq",
+        description="Ablation — PM admission equation (1) vs (2) vs EM",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="abl_pm"),),
+        base_params={"R": R, "r": r, "noc": noc},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("reachability", "overhead", "overlap"),
+        num_sources=num_sources,
+    )
+
+
+def run_ablation_pm_eq_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 20,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """PM-equation ablation through the campaign engine."""
+    from repro.experiments.exp_ablations import PM_EQ_VARIANTS, pm_eq_row, pm_eq_table
+
+    n = scaled(500, scale, minimum=80)
+    spec = ablation_pm_eq_spec(
+        scale=scale, seed=seed, R=R, r=r, noc=noc, num_sources=num_sources
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    rows = []
+    raw = {}
+    for label, _ in PM_EQ_VARIANTS:
+        m = by_label[label]
+        rows.append(
+            pm_eq_row(
+                label,
+                float(m["overlap_fraction"]),
+                float(m["mean_reachability"]),
+                float(m["mean_contacts"]),
+                float(m["selection_msgs_per_source"]),
+                float(m["backtrack_msgs_per_source"]),
+            )
+        )
+        raw[label] = m
+    result = pm_eq_table(rows, n=n, R=R, r=r, noc=noc, raw=raw)
+    return _as_campaign(result, report)
+
+
+def ablation_overlap_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 12,
+    noc: int = 6,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """EM overlap-check ablation as campaign cells."""
+    from repro.experiments.exp_ablations import OVERLAP_VARIANTS
+
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(label=label, params={"method": "EM", **flags})
+        for label, flags in OVERLAP_VARIANTS
+    )
+    return CampaignSpec(
+        name="ablation_overlap",
+        description="Ablation — contribution of the EM overlap checks",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="abl_ovl"),),
+        base_params={"R": R, "r": r, "noc": noc},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("reachability", "overhead", "overlap"),
+        num_sources=num_sources,
+    )
+
+
+def run_ablation_overlap_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 12,
+    noc: int = 6,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Overlap-check ablation through the campaign engine."""
+    from repro.experiments.exp_ablations import (
+        OVERLAP_VARIANTS,
+        overlap_row,
+        overlap_table,
+    )
+
+    n = scaled(500, scale, minimum=80)
+    spec = ablation_overlap_spec(
+        scale=scale, seed=seed, R=R, r=r, noc=noc, num_sources=num_sources
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    rows = []
+    for label, _ in OVERLAP_VARIANTS:
+        m = by_label[label]
+        rows.append(
+            overlap_row(
+                label,
+                float(m["overlap_fraction"]),
+                float(m["mean_reachability"]),
+                float(m["mean_contacts"]),
+                float(m["backtrack_msgs_per_source"]),
+            )
+        )
+    result = overlap_table(rows, n=n, R=R, r=r, noc=noc)
+    return _as_campaign(result, report)
+
+
+def ablation_recovery_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    duration: float = 10.0,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Local-recovery on/off ablation as time-series campaign cells."""
+    n = scaled(250, scale, minimum=60)
+    cases = (
+        CaseSpec(label="recovery ON", params={"local_recovery": True}),
+        CaseSpec(label="recovery OFF", params={"local_recovery": False}),
+    )
+    return CampaignSpec(
+        name="ablation_recovery",
+        description="Ablation — local recovery during contact validation",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="abl_rec"),),
+        base_params={"R": 3, "r": 12, "noc": 5},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("series", "contacts"),
+        num_sources=num_sources,
+        duration=duration,
+        mobility=MobilitySpec(
+            model="rwp", min_speed=1.0, max_speed=6.0, pause=1.0
+        ),
+    )
+
+
+def run_ablation_recovery_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    duration: float = 10.0,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Recovery ablation through the campaign engine."""
+    from repro.experiments.exp_ablations import recovery_row, recovery_table
+
+    n = scaled(250, scale, minimum=60)
+    spec = ablation_recovery_spec(
+        scale=scale, seed=seed, duration=duration, num_sources=num_sources
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    rows = []
+    for label in ("recovery ON", "recovery OFF"):
+        m = by_label[label]
+        rows.append(
+            recovery_row(
+                label,
+                m["lost_per_bin"],
+                m["maintenance"],
+                m["selection"],
+                m["backtracking"],
+                m["overhead"],
+                m["total_contacts"],
+            )
+        )
+    result = recovery_table(rows, n=n, duration=duration)
+    return _as_campaign(result, report)
+
+
+#: labels of the query-scheme ablation, in legacy row order
+_QUERY_CASES = (
+    ("CARD DSQ (dedup)", "dsq"),
+    ("CARD DSQ (no dedup)", "dsq_nodedup"),
+    ("Expanding ring", "ring"),
+)
+
+
+def ablation_query_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_queries: int = 40,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Query-scheme ablation: one cell per discovery scheme."""
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(label=label, workload={"scheme": scheme})
+        for label, scheme in _QUERY_CASES
+    )
+    return CampaignSpec(
+        name="ablation_query",
+        description="Ablation — DSQ escalation vs expanding-ring search",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="abl_query"),),
+        base_params={"R": 3, "r": 12, "noc": 6, "depth": 3},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("query",),
+        workload={"num_queries": num_queries},
+    )
+
+
+def run_ablation_query_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_queries: int = 40,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Query ablation through the campaign engine."""
+    from repro.experiments.exp_ablations import query_row, query_table
+
+    n = scaled(500, scale, minimum=80)
+    spec = ablation_query_spec(
+        scale=scale, seed=seed, num_queries=num_queries, num_sources=num_sources
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    rows = []
+    for label, _ in _QUERY_CASES:
+        m = by_label[label]
+        rows.append(
+            query_row(
+                label,
+                int(m["query_msgs"]),
+                int(m["query_successes"]),
+                int(m["num_queries"]),
+            )
+        )
+    result = query_table(rows, n=n, num_queries=num_queries)
+    return _as_campaign(result, report)
+
+
+def ablation_mobility_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    duration: float = 10.0,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Mobility-model ablation: one time-series cell per model."""
+    from repro.experiments.exp_ablations import ABLATION_MOBILITY_CONFIGS
+
+    n = scaled(250, scale, minimum=60)
+    cases = tuple(
+        CaseSpec(label=label, mobility=MobilitySpec(**cfg))
+        for label, cfg in ABLATION_MOBILITY_CONFIGS.items()
+    )
+    return CampaignSpec(
+        name="ablation_mobility",
+        description="Ablation — contact stability across mobility models",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="abl_mob"),),
+        base_params={"R": 3, "r": 12, "noc": 5},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("series", "contacts"),
+        num_sources=num_sources,
+        duration=duration,
+    )
+
+
+def run_ablation_mobility_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    duration: float = 10.0,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Mobility ablation through the campaign engine."""
+    from repro.experiments.exp_ablations import (
+        ABLATION_MOBILITY_CONFIGS,
+        mobility_row,
+        mobility_table,
+    )
+
+    n = scaled(250, scale, minimum=60)
+    spec = ablation_mobility_spec(
+        scale=scale, seed=seed, duration=duration, num_sources=num_sources
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    rows = []
+    for label in ABLATION_MOBILITY_CONFIGS:
+        m = by_label[label]
+        rows.append(
+            mobility_row(
+                label,
+                m["lost_per_bin"],
+                m["maintenance"],
+                m["overhead"],
+                m["total_contacts"],
+            )
+        )
+    result = mobility_table(rows, n=n, duration=duration)
+    return _as_campaign(result, report)
+
+
+def ablation_failures_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 12,
+    noc: int = 5,
+    fail_fraction: float = 0.15,
+    num_queries: int = 40,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Node-crash robustness as a single three-phase campaign cell."""
+    n = scaled(500, scale, minimum=80)
+    return CampaignSpec(
+        name="ablation_failures",
+        description="Ablation — robustness to node crashes",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="failures"),),
+        base_params={"R": R, "r": r, "noc": noc, "depth": 3},
+        cases=(CaseSpec(label="failures"),),
+        seeds=(seed,),
+        metrics=("failures",),
+        workload={"num_queries": num_queries, "fail_fraction": fail_fraction},
+    )
+
+
+def run_ablation_failures_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 12,
+    noc: int = 5,
+    fail_fraction: float = 0.15,
+    num_queries: int = 40,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Failures ablation through the campaign engine."""
+    from repro.experiments.exp_extensions import failures_table
+
+    spec = ablation_failures_spec(
+        scale=scale, seed=seed, R=R, r=r, noc=noc,
+        fail_fraction=fail_fraction, num_queries=num_queries,
+    )
+    store, report = _execute(spec, store, n_workers)
+    m = _labeled(spec, store)["failures"]
+    rows = [
+        ["before crash", int(m["ok_before"]), int(m["msgs_before"]), 0,
+         int(m["contacts_before"])],
+        ["after crash", int(m["ok_crash"]), int(m["msgs_crash"]), 0,
+         int(m["contacts_crash"])],
+        ["after repair", int(m["ok_repaired"]), int(m["msgs_repaired"]),
+         int(m["repair_msgs"]), int(m["contacts_repaired"])],
+    ]
+    result = failures_table(
+        rows,
+        n=int(m["num_nodes"]),
+        fail_fraction=fail_fraction,
+        num_failed=int(m["num_failed"]),
+        lost=int(m["contacts_lost"]),
+        raw={
+            "before": (int(m["ok_before"]), int(m["msgs_before"])),
+            "crash": (int(m["ok_crash"]), int(m["msgs_crash"])),
+            "repaired": (int(m["ok_repaired"]), int(m["msgs_repaired"])),
+        },
+    )
+    return _as_campaign(result, report)
+
+
+def ablation_edge_policy_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 12,
+    noc: int = 6,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Edge-launch-policy ablation: one cell per policy."""
+    from repro.core.edge_policy import EdgePolicy
+
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(label=policy.value, params={"edge_policy": policy.value})
+        for policy in EdgePolicy
+    )
+    return CampaignSpec(
+        name="ablation_edge_policy",
+        description="Ablation — CSQ edge-launch heuristics",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="edgepol"),),
+        base_params={"R": R, "r": r, "noc": noc},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("reachability", "overhead"),
+        num_sources=num_sources,
+    )
+
+
+def run_ablation_edge_policy_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 12,
+    noc: int = 6,
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Edge-policy ablation through the campaign engine."""
+    from repro.core.edge_policy import EdgePolicy
+    from repro.experiments.exp_extensions import edge_policy_row, edge_policy_table
+
+    n = scaled(500, scale, minimum=80)
+    spec = ablation_edge_policy_spec(
+        scale=scale, seed=seed, R=R, r=r, noc=noc, num_sources=num_sources
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    rows = []
+    raw = {}
+    for policy in EdgePolicy:
+        m = by_label[policy.value]
+        rows.append(
+            edge_policy_row(
+                policy.value,
+                float(m["mean_reachability"]),
+                float(m["mean_contacts"]),
+                float(m["selection_msgs_per_source"]),
+                float(m["backtrack_msgs_per_source"]),
+            )
+        )
+        raw[policy.value] = m
+    result = edge_policy_table(rows, n=n, R=R, r=r, noc=noc, raw=raw)
+    return _as_campaign(result, report)
+
+
+def smallworld_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 12,
+    noc_values: Sequence[int] = (0, 1, 2, 4, 6),
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Small-world statistics vs NoC: one cell per contact budget."""
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(label=f"NoC={int(k)}", params={"noc": int(k)})
+        for k in noc_values
+    )
+    return CampaignSpec(
+        name="smallworld",
+        description="Extension — small-world statistics of the contact structure",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="smallworld"),),
+        base_params={"R": R, "r": r},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("smallworld",),
+        num_sources=num_sources,
+    )
+
+
+def run_smallworld_campaign(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    R: int = 3,
+    r: int = 12,
+    noc_values: Sequence[int] = (0, 1, 2, 4, 6),
+    num_sources: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    n_workers: int = 1,
+) -> "ExperimentResult":
+    """Small-world extension through the campaign engine."""
+    from repro.experiments.exp_extensions import smallworld_row, smallworld_table
+
+    n = scaled(500, scale, minimum=80)
+    spec = smallworld_spec(
+        scale=scale, seed=seed, R=R, r=r, noc_values=noc_values,
+        num_sources=num_sources,
+    )
+    store, report = _execute(spec, store, n_workers)
+    by_label = _labeled(spec, store)
+    rows = []
+    raw = {}
+    for k in noc_values:
+        m = by_label[f"NoC={int(k)}"]
+        rows.append(
+            smallworld_row(
+                int(k),
+                float(m["clustering"]),
+                float(m["path_length"]),
+                float(m["augmented_path_length"]),
+                float(m["shortcut_gain"]),
+                float(m["mean_separation"]),
+                float(m["coverage"]),
+            )
+        )
+        raw[int(k)] = m
+    result = smallworld_table(rows, n=n, R=R, r=r, raw=raw)
+    return _as_campaign(result, report)
+
+
+# ----------------------------------------------------------------------
+# registry — one port per legacy experiment id
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FigurePort:
+    """A legacy experiment's campaign twin: spec builder + reducer-runner."""
+
+    exp_id: str
+    build_spec: Callable[..., CampaignSpec]
+    run: Callable[..., "ExperimentResult"]
+
+
+CAMPAIGN_FIGURES: Dict[str, FigurePort] = {
+    port.exp_id: port
+    for port in (
+        FigurePort("table1", table1_spec, run_table1_campaign),
+        FigurePort("fig03", fig03_04_spec, run_fig03_campaign),
+        FigurePort("fig04", fig03_04_spec, run_fig04_campaign),
+        FigurePort("fig03_04", fig03_04_spec, run_fig03_04_campaign),
+        FigurePort("fig05", fig05_spec, run_fig05_campaign),
+        FigurePort("fig06", fig06_spec, run_fig06_campaign),
+        FigurePort("fig07", fig07_spec, run_fig07_campaign),
+        FigurePort("fig08", fig08_spec, run_fig08_campaign),
+        FigurePort("fig09", fig09_spec, run_fig09_campaign),
+        FigurePort("fig10", fig10_spec, run_fig10_campaign),
+        FigurePort("fig11", fig11_spec, run_fig11_campaign),
+        FigurePort("fig12", fig12_spec, run_fig12_campaign),
+        FigurePort("fig13", fig13_spec, run_fig13_campaign),
+        FigurePort("fig14", fig14_spec, run_fig14_campaign),
+        FigurePort("fig15", fig15_spec, run_fig15_campaign),
+        FigurePort("ablation_pm_eq", ablation_pm_eq_spec, run_ablation_pm_eq_campaign),
+        FigurePort("ablation_overlap", ablation_overlap_spec, run_ablation_overlap_campaign),
+        FigurePort("ablation_recovery", ablation_recovery_spec, run_ablation_recovery_campaign),
+        FigurePort("ablation_query", ablation_query_spec, run_ablation_query_campaign),
+        FigurePort("ablation_mobility", ablation_mobility_spec, run_ablation_mobility_campaign),
+        FigurePort("ablation_failures", ablation_failures_spec, run_ablation_failures_campaign),
+        FigurePort("ablation_edge_policy", ablation_edge_policy_spec, run_ablation_edge_policy_campaign),
+        FigurePort("smallworld", smallworld_spec, run_smallworld_campaign),
+    )
+}
+
+
+def campaign_figure_ids() -> List[str]:
+    """Legacy experiment ids that have a campaign port."""
+    return sorted(CAMPAIGN_FIGURES)
+
+
+def get_figure_port(exp_id: str) -> FigurePort:
+    """Look a port up by legacy id, with a helpful error."""
+    try:
+        return CAMPAIGN_FIGURES[exp_id]
+    except KeyError:
+        known = ", ".join(campaign_figure_ids())
+        raise ValueError(
+            f"no campaign port for experiment {exp_id!r}; known: {known}"
+        ) from None

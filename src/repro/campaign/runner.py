@@ -14,6 +14,15 @@ into work:
 Cells are pure functions of their spec — every random stream is derived
 from the cell's own seed — so the worker count and completion order
 cannot change any stored metric, only the wall-clock.
+
+:func:`execute_cell` is the single entry point workers run.  It covers
+both measurement regimes: snapshot cells (contact selection on a static
+topology, plus the structural/workload families) and time-series cells
+(:class:`~repro.core.runner.TimeSeriesRunner` under a declarative
+:class:`~repro.campaign.spec.MobilitySpec`).  Every executor path
+mirrors the corresponding legacy figure runner's construction order and
+RNG streams exactly — that is what lets the reducers in
+:mod:`repro.campaign.figures` rebuild the legacy tables bit-for-bit.
 """
 
 from __future__ import annotations
@@ -22,29 +31,82 @@ import multiprocessing as mp
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.spec import CampaignSpec, CellSpec
 from repro.campaign.store import ResultStore
 from repro.core.params import CARDParams
-from repro.core.runner import SnapshotRunner
-from repro.scenarios.factory import sample_sources
+from repro.core.protocol import CARDProtocol
+from repro.core.query import QueryEngine
+from repro.core.reachability import reachability_distribution
+from repro.core.runner import SnapshotRunner, TimeSeriesRunner
+from repro.des.engine import Simulator
+from repro.discovery.base import CARDDiscoveryAdapter
+from repro.discovery.bordercast import BordercastDiscovery, QDMode
+from repro.discovery.expanding_ring import ExpandingRingDiscovery
+from repro.discovery.flooding import FloodingDiscovery
+from repro.metrics.comparison import SchemeComparison
+from repro.metrics.summary import fraction_above
+from repro.net.failures import FailureInjector
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.routing.neighborhood import NeighborhoodTables
+from repro.scenarios.factory import query_workload, sample_sources
+from repro.util.rng import spawn_rng
 
 __all__ = ["CampaignRunner", "CampaignReport", "CellOutcome", "execute_cell"]
 
 
 # ----------------------------------------------------------------------
 def execute_cell(cell: CellSpec) -> Dict[str, object]:
-    """Run one cell and return its flat metrics dict.
+    """Run one cell and return its flat, JSON-safe metrics dict.
 
-    Metric families (selected by ``cell.metrics``):
+    Snapshot metric families (selected by ``cell.metrics``):
 
     * ``topology`` — Table 1 connectivity statistics of the built graph;
     * ``reachability`` — mean/distribution of per-source reachability
       after contact selection;
-    * ``overhead`` — CSQ message costs and network-wide message totals.
+    * ``overhead`` — CSQ message costs and network-wide message totals;
+    * ``overlap`` — fraction of selected contacts whose neighborhood
+      overlaps the source's (true distance ≤ 2R);
+    * ``tradeoff`` — per-source stored-route hops and the ≥50 %
+      reachability fraction (Fig 14's extra observables);
+    * ``smallworld`` — clustering / path length / shortcut statistics of
+      the contact structure;
+    * ``comparison`` — CARD vs flooding vs bordercasting over a random
+      query workload (Fig 15);
+    * ``query`` — one discovery scheme (``workload["scheme"]``) over a
+      random workload;
+    * ``failures`` — query success before/after a node-crash wave and
+      after one repair round.
+
+    Time-series families (``cell.duration``/``cell.mobility`` set) are
+    produced by :meth:`~repro.core.runner.TimeSeriesResult.to_metrics`:
+    ``series``, ``contacts`` and ``churn``.
     """
     topo = cell.topology.build(cell.seed)
+    if cell.is_time_series:
+        return _execute_series(cell, topo)
+    return _execute_snapshot(cell, topo)
+
+
+def _execute_series(cell: CellSpec, topo: Topology) -> Dict[str, object]:
+    """Time-series regime: mobility + periodic maintenance, binned."""
+    params = cell.resolved_params()
+    sources = sample_sources(topo.num_nodes, cell.num_sources, cell.seed)
+    runner = TimeSeriesRunner(
+        topo,
+        params,
+        cell.mobility.factory(),  # type: ignore[union-attr]
+        duration=cell.duration,  # type: ignore[arg-type]
+        seed=cell.seed,
+        sources=sources,
+        track_link_deltas="churn" in cell.metrics,
+    )
+    return runner.run().to_metrics(cell.metrics)
+
+
+def _execute_snapshot(cell: CellSpec, topo: Topology) -> Dict[str, object]:
     out: Dict[str, object] = {}
     if "topology" in cell.metrics:
         st = topo.stats()
@@ -57,23 +119,203 @@ def execute_cell(cell: CellSpec) -> Dict[str, object]:
             giant_size=int(st.giant_size),
             num_components=int(st.num_components),
         )
-    if "reachability" in cell.metrics or "overhead" in cell.metrics:
-        params: CARDParams = cell.resolved_params()
-        sources = sample_sources(topo.num_nodes, cell.num_sources, cell.seed)
-        result = SnapshotRunner(
-            topo, params, seed=cell.seed, sources=sources
-        ).run()
-        if "reachability" in cell.metrics:
-            out["mean_reachability"] = float(result.mean_reachability)
-            out["distribution"] = [int(v) for v in result.distribution]
-            out["mean_contacts"] = float(result.mean_contacts)
-            out["measured_sources"] = len(result.sources)
-        if "overhead" in cell.metrics:
-            out["selection_msgs_per_source"] = float(result.selection_per_node())
-            out["backtrack_msgs_per_source"] = float(result.backtracking_per_node())
-            for category, count in result.message_totals.items():
-                out[f"msgs_{category}"] = int(count)
+    selection_families = {"reachability", "overhead", "overlap", "tradeoff"}
+    if selection_families & set(cell.metrics):
+        out.update(_selection_metrics(cell, topo))
+    if "smallworld" in cell.metrics:
+        out.update(_smallworld_metrics(cell, topo))
+    if "comparison" in cell.metrics:
+        out.update(_comparison_metrics(cell, topo))
+    if "query" in cell.metrics:
+        out.update(_query_metrics(cell, topo))
+    if "failures" in cell.metrics:
+        out.update(_failures_metrics(cell, topo))
     return out
+
+
+def _selection_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
+    """The SnapshotRunner families: one selection run, several views."""
+    params: CARDParams = cell.resolved_params()
+    sources = sample_sources(topo.num_nodes, cell.num_sources, cell.seed)
+    if cell.full_selection:
+        # every node selects contacts; `sources` only bounds measurement
+        runner = SnapshotRunner(topo, params, seed=cell.seed, sources=None)
+        result = runner.run()
+        reach = runner.protocol.reachability(sources)
+        distribution = reachability_distribution(reach)
+        measured = topo.num_nodes if sources is None else len(sources)
+    else:
+        runner = SnapshotRunner(topo, params, seed=cell.seed, sources=sources)
+        result = runner.run()
+        reach = result.reachability
+        distribution = result.distribution
+        measured = len(result.sources)
+    out: Dict[str, object] = {}
+    if "reachability" in cell.metrics:
+        out["mean_reachability"] = float(reach.mean()) if reach.size else 0.0
+        out["distribution"] = [int(v) for v in distribution]
+        out["mean_contacts"] = float(result.mean_contacts)
+        out["measured_sources"] = measured
+    if "overhead" in cell.metrics:
+        out["selection_msgs_per_source"] = float(result.selection_per_node())
+        out["backtrack_msgs_per_source"] = float(result.backtracking_per_node())
+        for category, count in result.message_totals.items():
+            out[f"msgs_{category}"] = int(count)
+    if "overlap" in cell.metrics:
+        out["overlap_fraction"] = float(runner.overlap_fraction())
+    if "tradeoff" in cell.metrics:
+        out["route_hops"] = runner.route_hops()
+        out["frac_ge50"] = float(fraction_above(reach, 50.0))
+    return out
+
+
+def _smallworld_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
+    """Small-world statistics of the contact structure (every node
+    bootstraps; ``num_sources`` bounds the separation/coverage sample)."""
+    from repro.analysis.smallworld import smallworld_report
+
+    params = cell.resolved_params()
+    sources = sample_sources(topo.num_nodes, cell.num_sources, cell.seed)
+    card = CARDProtocol(Network(topo), params, seed=cell.seed)
+    card.bootstrap()
+    rep = smallworld_report(topo.adj, card.membership, card.contact_tables, sources)
+    return {
+        "clustering": float(rep.clustering),
+        "path_length": float(rep.path_length),
+        "augmented_path_length": float(rep.augmented_path_length),
+        "shortcut_gain": float(rep.shortcut_gain),
+        "mean_separation": float(rep.mean_separation),
+        "coverage": float(rep.coverage),
+    }
+
+
+_SCHEME_PREFIX = {"Flooding": "flood", "Bordercasting": "border", "CARD": "card"}
+
+
+def _comparison_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
+    """Fig 15's three-scheme comparison on one topology + workload."""
+    params = cell.resolved_params()
+    num_queries = int(cell.workload["num_queries"])  # type: ignore[index]
+    workload = query_workload(
+        topo, num_queries, seed=cell.seed, distinct_sources=True
+    )
+    tables = NeighborhoodTables(topo, params.R)
+    flood_net = Network(topo)
+    border_net = Network(topo)
+    card_net = Network(topo)
+    card = CARDProtocol(
+        card_net, params, seed=cell.seed, tables=NeighborhoodTables(topo, params.R)
+    )
+    comparison = SchemeComparison(
+        [
+            FloodingDiscovery(flood_net),
+            BordercastDiscovery(border_net, tables, qd=QDMode.QD2),
+            CARDDiscoveryAdapter(card, max_depth=params.depth),
+        ]
+    )
+    out: Dict[str, object] = {"num_queries": len(workload)}
+    for row in comparison.run(workload):
+        prefix = _SCHEME_PREFIX[row.scheme]
+        out[f"{prefix}_msgs"] = int(row.query_msgs)
+        out[f"{prefix}_events"] = int(row.query_events)
+        out[f"{prefix}_successes"] = int(row.successes)
+        out[f"{prefix}_success_rate"] = float(row.success_rate)
+        out[f"{prefix}_prepare_msgs"] = int(row.prepare_msgs)
+    return out
+
+
+def _query_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
+    """One discovery scheme over a random workload (query ablation)."""
+    params = cell.resolved_params()
+    num_queries = int(cell.workload["num_queries"])  # type: ignore[index]
+    scheme = str(cell.workload["scheme"])  # type: ignore[index]
+    workload = query_workload(
+        topo, num_queries, seed=cell.seed, distinct_sources=True
+    )
+    if scheme == "ring":
+        engine = ExpandingRingDiscovery(Network(topo))
+    else:
+        net = Network(topo)
+        card = CARDProtocol(net, params, seed=cell.seed)
+        card.bootstrap()
+        engine = QueryEngine(
+            net,
+            card.tables,
+            params,
+            card.contact_tables,
+            dedup=(scheme == "dsq"),
+        )
+    msgs = 0
+    successes = 0
+    for s, t in workload:
+        res = engine.query(s, t)
+        msgs += res.msgs
+        successes += int(res.success)
+    return {
+        "query_msgs": int(msgs),
+        "query_successes": int(successes),
+        "num_queries": len(workload),
+    }
+
+
+def _failures_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
+    """Crash a node fraction mid-deployment; measure before/after/repaired."""
+    params = cell.resolved_params()
+    num_queries = int(cell.workload["num_queries"])  # type: ignore[index]
+    fail_fraction = float(cell.workload.get("fail_fraction", 0.15))  # type: ignore[union-attr]
+    n = topo.num_nodes
+    net = Network(topo)
+    card = CARDProtocol(net, params, seed=cell.seed)
+    card.bootstrap()
+    workload = query_workload(
+        topo, num_queries, seed=cell.seed, distinct_sources=True
+    )
+
+    def run_queries() -> Tuple[int, int]:
+        ok = 0
+        msgs = 0
+        for s, t in workload:
+            if not (topo.is_active(s) and topo.is_active(t)):
+                continue  # dead endpoints are not the protocol's failure
+            res = card.query(s, t)
+            ok += int(res.success)
+            msgs += res.msgs
+        return ok, msgs
+
+    ok0, msgs0 = run_queries()
+    contacts0 = card.total_contacts()
+
+    rng = spawn_rng(cell.seed, "failures")
+    injector = FailureInjector(Simulator(), topo)
+    doomed = rng.choice(n, size=max(1, int(fail_fraction * n)), replace=False)
+    for node in doomed:
+        injector.fail_now(int(node))
+    ok1, msgs1 = run_queries()
+    contacts1 = card.total_contacts()
+
+    lost = 0
+    survivors = [s for s in range(n) if topo.is_active(s)]
+    before_repair = net.stats.total()
+    for s in survivors:
+        outcomes, _ = card.maintain(s)
+        lost += sum(1 for o in outcomes if not o.ok)
+    repair_msgs = net.stats.total() - before_repair
+    ok2, msgs2 = run_queries()
+    return {
+        "ok_before": int(ok0),
+        "msgs_before": int(msgs0),
+        "contacts_before": int(contacts0),
+        "ok_crash": int(ok1),
+        "msgs_crash": int(msgs1),
+        "contacts_crash": int(contacts1),
+        "ok_repaired": int(ok2),
+        "msgs_repaired": int(msgs2),
+        "contacts_repaired": int(card.total_contacts()),
+        "repair_msgs": int(repair_msgs),
+        "contacts_lost": int(lost),
+        "num_failed": int(len(doomed)),
+        "num_nodes": int(n),
+    }
 
 
 def _worker(payload: Tuple[str, Dict[str, object]]):

@@ -136,6 +136,45 @@ class SnapshotRunner:
         )
 
     # ------------------------------------------------------------------
+    def overlap_fraction(self) -> float:
+        """Fraction of selected contacts whose neighborhood overlaps the
+        source's.
+
+        Overlap means true hop distance <= 2R (the geometric condition
+        Fig 1 illustrates); the Edge Method is designed to drive this to
+        zero.  Used by the overlap ablations (and the campaign ``overlap``
+        metric family); needs the full APSP matrix, so it is not computed
+        by default.
+        """
+        dist = self.protocol.tables.distances
+        R2 = 2 * self.params.R
+        total = 0
+        overlapping = 0
+        for s, table in self.protocol.contact_tables.items():
+            for c in table:
+                total += 1
+                d = int(dist[s, c.node])
+                if 0 <= d <= R2:
+                    overlapping += 1
+        return overlapping / total if total else 0.0
+
+    def route_hops(self) -> List[int]:
+        """Total stored-route hops per source, in source order.
+
+        One validation cycle costs one message per path hop, so these
+        are the per-source weights of Fig 14's maintenance term.
+        """
+        return [
+            int(
+                sum(
+                    c.path_hops
+                    for c in self.protocol.contact_tables[s]
+                )
+            )
+            for s in self.sources
+        ]
+
+    # ------------------------------------------------------------------
     def sweep_noc(self, result: SnapshotResult, noc_values: Sequence[int]):
         """Reachability and overhead as a function of NoC from one run.
 
@@ -217,6 +256,55 @@ class TimeSeriesResult:
     #: distance-substrate refresh accounting for the run (full rebuilds vs
     #: incremental updates) — the observable the perf harness regresses on
     substrate_stats: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_metrics(
+        self, families: Sequence[str] = ("series", "contacts", "churn")
+    ) -> Dict[str, object]:
+        """Flatten the result into a JSON-safe metrics dict per family.
+
+        This is the cell-executable view consumed by
+        :func:`repro.campaign.runner.execute_cell`: every value is a
+        plain Python scalar or list, so the dict round-trips through the
+        JSONL result store bit-for-bit (``json`` serialises doubles via
+        shortest-repr, which is exact).
+
+        * ``series`` — bin timestamps plus the per-node, per-bin
+          overhead/maintenance/selection/backtracking series (and their
+          means, for scalar group-by reports);
+        * ``contacts`` — total contacts held and contacts lost per bin;
+        * ``churn`` — per-mobility-step link churn and the distance
+          substrate's refresh statistics (full rebuilds vs incremental
+          updates).
+        """
+
+        def mean(values: Sequence[float]) -> float:
+            return float(np.mean(values)) if len(values) else 0.0
+
+        out: Dict[str, object] = {}
+        if "series" in families:
+            out["times"] = [float(t) for t in self.times]
+            out["time_bin"] = float(self.time_bin)
+            out["duration"] = float(self.duration)
+            out["num_sources"] = int(self.num_sources)
+            for name in ("overhead", "maintenance", "selection", "backtracking"):
+                series = [float(v) for v in getattr(self, name)]
+                out[name] = series
+                out[f"mean_{name}"] = mean(series)
+        if "contacts" in families:
+            out["total_contacts"] = [int(v) for v in self.total_contacts]
+            out["lost_per_bin"] = [int(v) for v in self.lost_per_bin]
+            out["final_contacts"] = (
+                int(self.total_contacts[-1]) if self.total_contacts else 0
+            )
+            out["total_lost"] = int(sum(self.lost_per_bin))
+        if "churn" in families:
+            out["link_churn"] = [int(v) for v in self.link_churn]
+            out["mean_link_churn"] = mean([float(v) for v in self.link_churn])
+            out["substrate_stats"] = {
+                str(k): int(v) for k, v in self.substrate_stats.items()
+            }
+        return out
 
 
 class TimeSeriesRunner:

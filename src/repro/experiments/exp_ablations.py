@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.params import CARDParams, SelectionMethod
+from repro.core.params import CARDParams
 from repro.core.protocol import CARDProtocol
 from repro.core.query import QueryEngine
 from repro.core.runner import SnapshotRunner, TimeSeriesRunner
@@ -45,63 +45,61 @@ __all__ = [
     "run_ablation_recovery",
     "run_ablation_query",
     "run_ablation_mobility",
+    "PM_EQ_VARIANTS",
+    "OVERLAP_VARIANTS",
+    "ABLATION_MOBILITY_CONFIGS",
+    "MOBILITY_FACTORIES",
+    "pm_eq_table",
+    "overlap_table",
+    "recovery_row",
+    "recovery_table",
+    "query_table",
+    "mobility_row",
+    "mobility_table",
 ]
 
 
 def _overlap_fraction(runner: SnapshotRunner) -> float:
-    """Fraction of selected contacts whose neighborhood overlaps the source's.
-
-    Overlap means true hop distance <= 2R (the geometric condition Fig 1
-    illustrates); EM is designed to drive this to zero.
-    """
-    dist = runner.protocol.tables.distances
-    R2 = 2 * runner.params.R
-    total = 0
-    overlapping = 0
-    for s, table in runner.protocol.contact_tables.items():
-        for c in table:
-            total += 1
-            d = int(dist[s, c.node])
-            if 0 <= d <= R2:
-                overlapping += 1
-    return overlapping / total if total else 0.0
+    """Overlapping-contact fraction (see SnapshotRunner.overlap_fraction)."""
+    return runner.overlap_fraction()
 
 
 # ----------------------------------------------------------------------
-def run_ablation_pm_eq(
-    *,
-    scale: float = 1.0,
-    seed: Optional[int] = 0,
-    R: int = 3,
-    r: int = 20,
-    noc: int = 5,
-    num_sources: Optional[int] = None,
-) -> ExperimentResult:
-    """PM eq.(1) vs eq.(2) vs EM: overlap rate, reachability, overhead."""
-    n = scaled(500, scale, minimum=80)
-    topo = standard_topology(num_nodes=n, seed=seed, salt="abl_pm")
-    sources = sample_sources(n, num_sources, seed)
-    rows: List[List[object]] = []
-    raw = {}
-    variants = [
-        ("PM eq.1", CARDParams(R=R, r=r, noc=noc, method=SelectionMethod.PM, pm_equation=1)),
-        ("PM eq.2", CARDParams(R=R, r=r, noc=noc, method=SelectionMethod.PM, pm_equation=2)),
-        ("EM", CARDParams(R=R, r=r, noc=noc, method=SelectionMethod.EM)),
+#: (label, CARDParams overrides) per admission variant — the campaign
+#: port reuses these verbatim, so both paths sweep identical configs.
+PM_EQ_VARIANTS = (
+    ("PM eq.1", {"method": "PM", "pm_equation": 1}),
+    ("PM eq.2", {"method": "PM", "pm_equation": 2}),
+    ("EM", {"method": "EM"}),
+)
+
+OVERLAP_VARIANTS = (
+    ("full EM", {"check_contact_overlap": True, "check_edge_overlap": True}),
+    ("no edge check", {"check_contact_overlap": True, "check_edge_overlap": False}),
+    ("no contact check", {"check_contact_overlap": False, "check_edge_overlap": True}),
+    ("source check only", {"check_contact_overlap": False, "check_edge_overlap": False}),
+)
+
+
+def pm_eq_row(
+    label: str,
+    overlap_fraction: float,
+    mean_reachability: float,
+    mean_contacts: float,
+    forward_per_node: float,
+    backtrack_per_node: float,
+) -> List[object]:
+    return [
+        label,
+        round(100 * overlap_fraction, 2),
+        round(mean_reachability, 2),
+        round(mean_contacts, 2),
+        round(forward_per_node, 1),
+        round(backtrack_per_node, 1),
     ]
-    for label, params in variants:
-        runner = SnapshotRunner(topo, params, seed=seed, sources=sources)
-        result = runner.run()
-        rows.append(
-            [
-                label,
-                round(100 * _overlap_fraction(runner), 2),
-                round(result.mean_reachability, 2),
-                round(result.mean_contacts, 2),
-                round(result.selection_per_node(), 1),
-                round(result.backtracking_per_node(), 1),
-            ]
-        )
-        raw[label] = result
+
+
+def pm_eq_table(rows: List[List[object]], *, n, R, r, noc, raw) -> ExperimentResult:
     return ExperimentResult(
         exp_id="ablation_pm_eq",
         title="Ablation — PM admission equation (1) vs (2) vs EM",
@@ -124,6 +122,70 @@ def run_ablation_pm_eq(
     )
 
 
+def run_ablation_pm_eq(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    R: int = 3,
+    r: int = 20,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """PM eq.(1) vs eq.(2) vs EM: overlap rate, reachability, overhead."""
+    n = scaled(500, scale, minimum=80)
+    topo = standard_topology(num_nodes=n, seed=seed, salt="abl_pm")
+    sources = sample_sources(n, num_sources, seed)
+    rows: List[List[object]] = []
+    raw = {}
+    for label, overrides in PM_EQ_VARIANTS:
+        params = CARDParams.from_dict({"R": R, "r": r, "noc": noc, **overrides})
+        runner = SnapshotRunner(topo, params, seed=seed, sources=sources)
+        result = runner.run()
+        rows.append(
+            pm_eq_row(
+                label,
+                _overlap_fraction(runner),
+                result.mean_reachability,
+                result.mean_contacts,
+                result.selection_per_node(),
+                result.backtracking_per_node(),
+            )
+        )
+        raw[label] = result
+    return pm_eq_table(rows, n=n, R=R, r=r, noc=noc, raw=raw)
+
+
+def overlap_row(
+    label: str,
+    overlap_fraction: float,
+    mean_reachability: float,
+    mean_contacts: float,
+    backtrack_per_node: float,
+) -> List[object]:
+    return [
+        label,
+        round(100 * overlap_fraction, 2),
+        round(mean_reachability, 2),
+        round(mean_contacts, 2),
+        round(backtrack_per_node, 1),
+    ]
+
+
+def overlap_table(rows: List[List[object]], *, n, R, r, noc) -> ExperimentResult:
+    return ExperimentResult(
+        exp_id="ablation_overlap",
+        title="Ablation — contribution of the EM overlap checks",
+        headers=["variant", "overlap %", "mean reach %", "mean contacts", "backtrack/node"],
+        rows=rows,
+        notes=[
+            "dropping the edge check reintroduces source-contact overlap; "
+            "dropping the contact check lets contacts crowd each other — "
+            "more contacts admitted, less reachability per contact",
+            f"N={n}, R={R}, r={r}, NoC={noc}",
+        ],
+    )
+
+
 def run_ablation_overlap(
     *,
     scale: float = 1.0,
@@ -138,35 +200,60 @@ def run_ablation_overlap(
     topo = standard_topology(num_nodes=n, seed=seed, salt="abl_ovl")
     sources = sample_sources(n, num_sources, seed)
     rows: List[List[object]] = []
-    variants = [
-        ("full EM", dict(check_contact_overlap=True, check_edge_overlap=True)),
-        ("no edge check", dict(check_contact_overlap=True, check_edge_overlap=False)),
-        ("no contact check", dict(check_contact_overlap=False, check_edge_overlap=True)),
-        ("source check only", dict(check_contact_overlap=False, check_edge_overlap=False)),
-    ]
-    for label, flags in variants:
-        params = CARDParams(R=R, r=r, noc=noc, method=SelectionMethod.EM, **flags)
+    for label, flags in OVERLAP_VARIANTS:
+        params = CARDParams.from_dict(
+            {"R": R, "r": r, "noc": noc, "method": "EM", **flags}
+        )
         runner = SnapshotRunner(topo, params, seed=seed, sources=sources)
         result = runner.run()
         rows.append(
-            [
+            overlap_row(
                 label,
-                round(100 * _overlap_fraction(runner), 2),
-                round(result.mean_reachability, 2),
-                round(result.mean_contacts, 2),
-                round(result.backtracking_per_node(), 1),
-            ]
+                _overlap_fraction(runner),
+                result.mean_reachability,
+                result.mean_contacts,
+                result.backtracking_per_node(),
+            )
         )
+    return overlap_table(rows, n=n, R=R, r=r, noc=noc)
+
+
+def recovery_row(
+    label: str,
+    lost_per_bin: List[int],
+    maintenance: List[float],
+    selection: List[float],
+    backtracking: List[float],
+    overhead: List[float],
+    total_contacts: List[int],
+) -> List[object]:
+    return [
+        label,
+        sum(lost_per_bin),
+        round(float(np.mean(maintenance)), 2),
+        round(float(np.mean(selection)) + float(np.mean(backtracking)), 2),
+        round(float(np.mean(overhead)), 2),
+        total_contacts[-1] if total_contacts else 0,
+    ]
+
+
+def recovery_table(rows: List[List[object]], *, n, duration) -> ExperimentResult:
     return ExperimentResult(
-        exp_id="ablation_overlap",
-        title="Ablation — contribution of the EM overlap checks",
-        headers=["variant", "overlap %", "mean reach %", "mean contacts", "backtrack/node"],
+        exp_id="ablation_recovery",
+        title="Ablation — local recovery during contact validation",
+        headers=[
+            "variant",
+            "contacts lost",
+            "maint/node/bin",
+            "reselect/node/bin",
+            "total ovh/node/bin",
+            "contacts at end",
+        ],
         rows=rows,
         notes=[
-            "dropping the edge check reintroduces source-contact overlap; "
-            "dropping the contact check lets contacts crowd each other — "
-            "more contacts admitted, less reachability per contact",
-            f"N={n}, R={R}, r={r}, NoC={noc}",
+            "without local recovery every broken hop kills the contact, "
+            "forcing expensive re-selection — §III.C.3's motivation",
+            f"N={n}, R=3, r=12, NoC=5, {duration:g}s RWP",
         ],
     )
 
@@ -200,31 +287,38 @@ def run_ablation_recovery(
         )
         res = runner.run()
         rows.append(
-            [
+            recovery_row(
                 label,
-                sum(res.lost_per_bin),
-                round(float(np.mean(res.maintenance)), 2),
-                round(float(np.mean(res.selection)) + float(np.mean(res.backtracking)), 2),
-                round(float(np.mean(res.overhead)), 2),
-                res.total_contacts[-1] if res.total_contacts else 0,
-            ]
+                res.lost_per_bin,
+                res.maintenance,
+                res.selection,
+                res.backtracking,
+                res.overhead,
+                res.total_contacts,
+            )
         )
+    return recovery_table(rows, n=n, duration=duration)
+
+
+def query_row(label: str, msgs: int, successes: int, num_queries: int) -> List[object]:
+    return [
+        label,
+        msgs,
+        round(msgs / num_queries, 1),
+        round(100 * successes / num_queries, 1),
+    ]
+
+
+def query_table(rows: List[List[object]], *, n, num_queries) -> ExperimentResult:
     return ExperimentResult(
-        exp_id="ablation_recovery",
-        title="Ablation — local recovery during contact validation",
-        headers=[
-            "variant",
-            "contacts lost",
-            "maint/node/bin",
-            "reselect/node/bin",
-            "total ovh/node/bin",
-            "contacts at end",
-        ],
+        exp_id="ablation_query",
+        title="Ablation — DSQ escalation vs expanding-ring search",
+        headers=["scheme", "total msgs", "msgs/query", "success %"],
         rows=rows,
         notes=[
-            "without local recovery every broken hop kills the contact, "
-            "forcing expensive re-selection — §III.C.3's motivation",
-            f"N={n}, R=3, r=12, NoC=5, {duration:g}s RWP",
+            "§III.C.4's claim: depth escalation through contacts beats "
+            "TTL-escalated flooding because queries are directed, not flooded",
+            f"N={n}, R=3, r=12, NoC=6, D<=3, {num_queries} queries",
         ],
     )
 
@@ -253,7 +347,7 @@ def run_ablation_query(
             res = engine.query(s, t)
             msgs += res.msgs
             succ += int(res.success)
-        rows.append([label, msgs, round(msgs / len(workload), 1), round(100 * succ / len(workload), 1)])
+        rows.append(query_row(label, msgs, succ, len(workload)))
     ring = ExpandingRingDiscovery(Network(topo))
     msgs = 0
     succ = 0
@@ -261,16 +355,77 @@ def run_ablation_query(
         res = ring.query(s, t)
         msgs += res.msgs
         succ += int(res.success)
-    rows.append(["Expanding ring", msgs, round(msgs / len(workload), 1), round(100 * succ / len(workload), 1)])
+    rows.append(query_row("Expanding ring", msgs, succ, len(workload)))
+    return query_table(rows, n=n, num_queries=num_queries)
+
+
+#: label → declarative mobility configuration for the mobility ablation;
+#: :data:`MOBILITY_FACTORIES` and the campaign port both derive from it.
+ABLATION_MOBILITY_CONFIGS = {
+    "RWP": {"model": "rwp", "min_speed": 0.5, "max_speed": 5.0, "pause": 2.0},
+    "RandomWalk": {
+        "model": "walk", "min_speed": 0.5, "max_speed": 5.0, "mean_epoch": 5.0,
+    },
+    "GaussMarkov": {
+        "model": "gauss_markov", "alpha": 0.85, "mean_speed": 2.5, "sigma": 1.0,
+    },
+}
+
+MOBILITY_FACTORIES = {
+    "RWP": lambda p, a, rng: RandomWaypoint(
+        p,
+        a,
+        min_speed=ABLATION_MOBILITY_CONFIGS["RWP"]["min_speed"],
+        max_speed=ABLATION_MOBILITY_CONFIGS["RWP"]["max_speed"],
+        pause_time=ABLATION_MOBILITY_CONFIGS["RWP"]["pause"],
+        rng=rng,
+    ),
+    "RandomWalk": lambda p, a, rng: RandomWalk(
+        p,
+        a,
+        min_speed=ABLATION_MOBILITY_CONFIGS["RandomWalk"]["min_speed"],
+        max_speed=ABLATION_MOBILITY_CONFIGS["RandomWalk"]["max_speed"],
+        mean_epoch=ABLATION_MOBILITY_CONFIGS["RandomWalk"]["mean_epoch"],
+        rng=rng,
+    ),
+    "GaussMarkov": lambda p, a, rng: GaussMarkov(
+        p,
+        a,
+        alpha=ABLATION_MOBILITY_CONFIGS["GaussMarkov"]["alpha"],
+        mean_speed=ABLATION_MOBILITY_CONFIGS["GaussMarkov"]["mean_speed"],
+        sigma=ABLATION_MOBILITY_CONFIGS["GaussMarkov"]["sigma"],
+        rng=rng,
+    ),
+}
+
+
+def mobility_row(
+    label: str,
+    lost_per_bin: List[int],
+    maintenance: List[float],
+    overhead: List[float],
+    total_contacts: List[int],
+) -> List[object]:
+    return [
+        label,
+        sum(lost_per_bin),
+        round(float(np.mean(maintenance)), 2),
+        round(float(np.mean(overhead)), 2),
+        total_contacts[-1] if total_contacts else 0,
+    ]
+
+
+def mobility_table(rows: List[List[object]], *, n, duration) -> ExperimentResult:
     return ExperimentResult(
-        exp_id="ablation_query",
-        title="Ablation — DSQ escalation vs expanding-ring search",
-        headers=["scheme", "total msgs", "msgs/query", "success %"],
+        exp_id="ablation_mobility",
+        title="Ablation — contact stability across mobility models",
+        headers=["model", "contacts lost", "maint/node/bin", "ovh/node/bin", "contacts at end"],
         rows=rows,
         notes=[
-            "§III.C.4's claim: depth escalation through contacts beats "
-            "TTL-escalated flooding because queries are directed, not flooded",
-            f"N={n}, R=3, r=12, NoC=6, D<=3, {num_queries} queries",
+            "the paper's §IV.B footnote conjectures mobility-model "
+            "sensitivity; models with higher relative velocities (random "
+            "walk) lose more contacts than momentum-dominated ones",
+            f"N={n}, R=3, r=12, NoC=5, {duration:g}s",
         ],
     )
 
@@ -284,19 +439,8 @@ def run_ablation_mobility(
 ) -> ExperimentResult:
     """Contact stability under three mobility models."""
     n = scaled(250, scale, minimum=60)
-    factories = {
-        "RWP": lambda p, a, rng: RandomWaypoint(
-            p, a, min_speed=0.5, max_speed=5.0, pause_time=2.0, rng=rng
-        ),
-        "RandomWalk": lambda p, a, rng: RandomWalk(
-            p, a, min_speed=0.5, max_speed=5.0, mean_epoch=5.0, rng=rng
-        ),
-        "GaussMarkov": lambda p, a, rng: GaussMarkov(
-            p, a, alpha=0.85, mean_speed=2.5, sigma=1.0, rng=rng
-        ),
-    }
     rows: List[List[object]] = []
-    for label, factory in factories.items():
+    for label, factory in MOBILITY_FACTORIES.items():
         topo = standard_topology(num_nodes=n, seed=seed, salt="abl_mob")
         params = CARDParams(R=3, r=12, noc=5)
         runner = TimeSeriesRunner(
@@ -309,23 +453,12 @@ def run_ablation_mobility(
         )
         res = runner.run()
         rows.append(
-            [
+            mobility_row(
                 label,
-                sum(res.lost_per_bin),
-                round(float(np.mean(res.maintenance)), 2),
-                round(float(np.mean(res.overhead)), 2),
-                res.total_contacts[-1] if res.total_contacts else 0,
-            ]
+                res.lost_per_bin,
+                res.maintenance,
+                res.overhead,
+                res.total_contacts,
+            )
         )
-    return ExperimentResult(
-        exp_id="ablation_mobility",
-        title="Ablation — contact stability across mobility models",
-        headers=["model", "contacts lost", "maint/node/bin", "ovh/node/bin", "contacts at end"],
-        rows=rows,
-        notes=[
-            "the paper's §IV.B footnote conjectures mobility-model "
-            "sensitivity; models with higher relative velocities (random "
-            "walk) lose more contacts than momentum-dominated ones",
-            f"N={n}, R=3, r=12, NoC=5, {duration:g}s",
-        ],
-    )
+    return mobility_table(rows, n=n, duration=duration)

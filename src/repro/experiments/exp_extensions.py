@@ -29,7 +29,47 @@ from repro.net.network import Network
 from repro.scenarios.factory import query_workload
 from repro.util.rng import spawn_rng
 
-__all__ = ["run_smallworld", "run_ablation_failures", "run_ablation_edge_policy"]
+__all__ = [
+    "run_smallworld",
+    "run_ablation_failures",
+    "run_ablation_edge_policy",
+    "edge_policy_row",
+    "edge_policy_table",
+    "smallworld_row",
+    "smallworld_table",
+    "failures_table",
+]
+
+
+def edge_policy_row(
+    label: str,
+    mean_reachability: float,
+    mean_contacts: float,
+    forward_per_node: float,
+    backtrack_per_node: float,
+) -> List[object]:
+    return [
+        label,
+        round(mean_reachability, 2),
+        round(mean_contacts, 2),
+        round(forward_per_node, 1),
+        round(backtrack_per_node, 1),
+    ]
+
+
+def edge_policy_table(rows: List[List[object]], *, n, R, r, noc, raw) -> ExperimentResult:
+    return ExperimentResult(
+        exp_id="ablation_edge_policy",
+        title="Ablation — CSQ edge-launch heuristics (future work §V)",
+        headers=["policy", "mean reach %", "contacts", "fwd/node", "backtrack/node"],
+        rows=rows,
+        notes=[
+            "SPREAD = farthest-point sampling over the edge set's hop "
+            "metric (GPS-free); DEGREE = densest-region first",
+            f"N={n}, R={R}, r={r}, NoC={noc}",
+        ],
+        raw=raw,
+    )
 
 
 def run_ablation_edge_policy(
@@ -60,24 +100,57 @@ def run_ablation_edge_policy(
         runner = SnapshotRunner(topo, params, seed=seed, sources=sources)
         result = runner.run()
         rows.append(
-            [
+            edge_policy_row(
                 policy.value,
-                round(result.mean_reachability, 2),
-                round(result.mean_contacts, 2),
-                round(result.selection_per_node(), 1),
-                round(result.backtracking_per_node(), 1),
-            ]
+                result.mean_reachability,
+                result.mean_contacts,
+                result.selection_per_node(),
+                result.backtracking_per_node(),
+            )
         )
         raw[policy.value] = result
+    return edge_policy_table(rows, n=n, R=R, r=r, noc=noc, raw=raw)
+
+
+def smallworld_row(
+    k: int,
+    clustering: float,
+    path_length: float,
+    augmented_path_length: float,
+    shortcut_gain: float,
+    mean_separation: float,
+    coverage: float,
+) -> List[object]:
+    return [
+        int(k),
+        round(clustering, 3),
+        round(path_length, 2),
+        round(augmented_path_length, 2),
+        round(shortcut_gain, 3),
+        round(mean_separation, 2),
+        round(100 * coverage, 1),
+    ]
+
+
+def smallworld_table(rows: List[List[object]], *, n, R, r, raw) -> ExperimentResult:
     return ExperimentResult(
-        exp_id="ablation_edge_policy",
-        title="Ablation — CSQ edge-launch heuristics (future work §V)",
-        headers=["policy", "mean reach %", "contacts", "fwd/node", "backtrack/node"],
+        exp_id="smallworld",
+        title="Extension — small-world statistics of the contact structure",
+        headers=[
+            "NoC",
+            "clustering C",
+            "path length L",
+            "L w/ shortcuts",
+            "gain",
+            "mean separation",
+            "coverage %",
+        ],
         rows=rows,
         notes=[
-            "SPREAD = farthest-point sampling over the edge set's hop "
-            "metric (GPS-free); DEGREE = densest-region first",
-            f"N={n}, R={R}, r={r}, NoC={noc}",
+            "unit-disk MANets are clustered but long-pathed; contacts are "
+            "Watts-Strogatz shortcuts — L shrinks as NoC grows while C is a "
+            "property of the physical graph (unchanged)",
+            f"N={n}, R={R}, r={r}",
         ],
         raw=raw,
     )
@@ -107,38 +180,18 @@ def run_smallworld(
         }
         rep = smallworld_report(topo.adj, card.membership, truncated, sources)
         rows.append(
-            [
+            smallworld_row(
                 int(k),
-                round(rep.clustering, 3),
-                round(rep.path_length, 2),
-                round(rep.augmented_path_length, 2),
-                round(rep.shortcut_gain, 3),
-                round(rep.mean_separation, 2),
-                round(100 * rep.coverage, 1),
-            ]
+                rep.clustering,
+                rep.path_length,
+                rep.augmented_path_length,
+                rep.shortcut_gain,
+                rep.mean_separation,
+                rep.coverage,
+            )
         )
         raw[int(k)] = rep
-    return ExperimentResult(
-        exp_id="smallworld",
-        title="Extension — small-world statistics of the contact structure",
-        headers=[
-            "NoC",
-            "clustering C",
-            "path length L",
-            "L w/ shortcuts",
-            "gain",
-            "mean separation",
-            "coverage %",
-        ],
-        rows=rows,
-        notes=[
-            "unit-disk MANets are clustered but long-pathed; contacts are "
-            "Watts-Strogatz shortcuts — L shrinks as NoC grows while C is a "
-            "property of the physical graph (unchanged)",
-            f"N={n}, R={R}, r={r}",
-        ],
-        raw=raw,
-    )
+    return smallworld_table(rows, n=n, R=R, r=r, raw=raw)
 
 
 def _truncate(table, k):
@@ -215,16 +268,29 @@ def run_ablation_failures(
     ok2, msgs2 = run_queries("after repair")
     rows.append(["after repair", ok2, msgs2, repair_msgs, card.total_contacts()])
 
+    return failures_table(
+        rows,
+        n=n,
+        fail_fraction=fail_fraction,
+        num_failed=len(doomed),
+        lost=lost,
+        raw={"before": (ok0, msgs0), "crash": (ok1, msgs1), "repaired": (ok2, msgs2)},
+    )
+
+
+def failures_table(
+    rows: List[List[object]], *, n, fail_fraction, num_failed, lost, raw
+) -> ExperimentResult:
     return ExperimentResult(
         exp_id="ablation_failures",
         title="Ablation — robustness to node crashes (requirement c)",
         headers=["phase", "queries ok", "query msgs", "repair msgs", "contacts held"],
         rows=rows,
         notes=[
-            f"{len(doomed)} of {n} nodes crashed ({100 * fail_fraction:.0f}%); "
+            f"{num_failed} of {n} nodes crashed ({100 * fail_fraction:.0f}%); "
             f"repair = one validation+replenish round per surviving source "
             f"({lost} contacts dropped)",
             "success counted over workload pairs whose endpoints survive",
         ],
-        raw={"before": (ok0, msgs0), "crash": (ok1, msgs1), "repaired": (ok2, msgs2)},
+        raw=raw,
     )

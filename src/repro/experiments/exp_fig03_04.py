@@ -30,7 +30,7 @@ from repro.experiments.base import (
 )
 from repro.util.ascii_plot import ascii_series
 
-__all__ = ["run_fig03_04", "run_fig03", "run_fig04"]
+__all__ = ["run_fig03_04", "run_fig03", "run_fig04", "pm_em_table"]
 
 
 def _pm_em_sweep(
@@ -55,17 +55,19 @@ def _pm_em_sweep(
     return noc_values, out
 
 
-def run_fig03_04(
+def pm_em_table(
+    noc_values: List[int],
+    pm: List[tuple],
+    em: List[tuple],
     *,
-    scale: float = 1.0,
-    seed: Optional[int] = 0,
-    max_noc: int = 9,
-    num_sources: Optional[int] = None,
+    scale: float,
 ) -> ExperimentResult:
-    """Joint Fig 3 + Fig 4 sweep (shared selection runs)."""
-    noc_values, sweeps = _pm_em_sweep(
-        scale=scale, seed=seed, max_noc=max_noc, num_sources=num_sources
-    )
+    """Assemble the joint Fig 3 + Fig 4 table from per-method sweep rows.
+
+    ``pm``/``em`` are ``(noc, mean_reach, fwd, back)`` rows as produced by
+    :meth:`SnapshotRunner.sweep_noc` — shared by the legacy runner and
+    the campaign reducer, so both paths emit identical artifacts.
+    """
     headers = [
         "NoC",
         "Reach% PM",
@@ -76,8 +78,6 @@ def run_fig03_04(
         "Fwd/node EM",
     ]
     rows: List[List[object]] = []
-    pm = sweeps["PM"]
-    em = sweeps["EM"]
     for i, k in enumerate(noc_values):
         rows.append(
             [
@@ -115,6 +115,20 @@ def run_fig03_04(
         plots=[plot_reach, plot_back],
         raw={"noc": noc_values, "pm": pm, "em": em},
     )
+
+
+def run_fig03_04(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    max_noc: int = 9,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Joint Fig 3 + Fig 4 sweep (shared selection runs)."""
+    noc_values, sweeps = _pm_em_sweep(
+        scale=scale, seed=seed, max_noc=max_noc, num_sources=num_sources
+    )
+    return pm_em_table(noc_values, sweeps["PM"], sweeps["EM"], scale=scale)
 
 
 def run_fig03(**kwargs) -> ExperimentResult:

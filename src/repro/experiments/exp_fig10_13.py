@@ -36,7 +36,18 @@ from repro.experiments.base import (
 from repro.mobility.waypoint import RandomWaypoint
 from repro.util.ascii_plot import ascii_series
 
-__all__ = ["run_fig10", "run_fig11", "run_fig12", "run_fig13"]
+__all__ = [
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "series_table",
+    "fig13_table",
+    "fig13_hop_params",
+    "DEFAULT_SPEED",
+    "DEFAULT_PAUSE",
+    "FIG13_SPEED",
+]
 
 #: mobility defaults for the overhead experiments (Figs 10-12): moderate
 #: pedestrian-to-vehicle speeds with short pauses.  The paper does not
@@ -90,6 +101,44 @@ def _run_series(
     return runner.run()
 
 
+def series_table(
+    times: Sequence[float],
+    series_by_label: Dict[str, Sequence[float]],
+    *,
+    exp_id: str,
+    title: str,
+    ylabel: str,
+    notes: List[str],
+    raw: Dict[str, object],
+) -> ExperimentResult:
+    """Assemble a per-bin series table (the Figs 10-12 template).
+
+    ``series_by_label`` maps curve label → one value per bin; this is
+    shared by the legacy runners (values straight from
+    :class:`TimeSeriesResult`) and the campaign reducers (values out of
+    the JSONL store), so both paths emit identical artifacts.
+    """
+    labels = list(series_by_label)
+    headers = ["t (s)"] + labels
+    rows: List[List[object]] = []
+    for i, t in enumerate(times):
+        rows.append([t] + [round(series_by_label[l][i], 2) for l in labels])
+    plot = ascii_series(
+        {l: list(series_by_label[l]) for l in labels},
+        list(times),
+        title=f"{title} — {ylabel}",
+    )
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        plots=[plot],
+        raw=raw,
+    )
+
+
 def _series_table(
     series_by_label: Dict[str, TimeSeriesResult],
     value_of,
@@ -101,24 +150,13 @@ def _series_table(
 ) -> ExperimentResult:
     labels = list(series_by_label)
     first = series_by_label[labels[0]]
-    headers = ["t (s)"] + labels
-    rows: List[List[object]] = []
-    for i, t in enumerate(first.times):
-        rows.append(
-            [t] + [round(value_of(series_by_label[l])[i], 2) for l in labels]
-        )
-    plot = ascii_series(
-        {l: value_of(series_by_label[l]) for l in labels},
+    return series_table(
         first.times,
-        title=f"{title} — {ylabel}",
-    )
-    return ExperimentResult(
+        {l: value_of(series_by_label[l]) for l in labels},
         exp_id=exp_id,
         title=title,
-        headers=headers,
-        rows=rows,
+        ylabel=ylabel,
         notes=notes,
-        plots=[plot],
         raw={l: series_by_label[l] for l in labels},
     )
 
@@ -236,50 +274,49 @@ def run_fig12(
     )
 
 
-def run_fig13(
-    *,
-    scale: float = 1.0,
-    seed: Optional[int] = 0,
-    duration: float = 20.0,
-    num_sources: Optional[int] = None,
-) -> ExperimentResult:
-    """Fig 13 — maintenance overhead and total contacts over 20 seconds.
+def fig13_hop_params(n: int) -> tuple:
+    """Fig 13's (R, r), shrunk with the network's hop diameter.
 
     The paper's R=4, r=16 assume the full N=250 diameter; scaled-down CI
     runs shrink the network's hop diameter by ~sqrt(scale), so the hop
     parameters shrink with it (otherwise the (2R, r] band falls off the
     edge of the network and no contacts can exist at all).
     """
-    n = scaled(250, scale, minimum=60)
     hop_factor = float(np.sqrt(n / 250.0))
     R = max(2, int(round(4 * hop_factor)))
     r = max(2 * R + 2, int(round(16 * hop_factor)))
-    res = _run_series(
-        CARDParams(R=R, r=r, noc=6),
-        num_nodes=n,
-        duration=duration,
-        seed=seed,
-        num_sources=num_sources,
-        salt="fig13",
-        speed=FIG13_SPEED,
-    )
+    return R, r
+
+
+def fig13_table(
+    times: Sequence[float],
+    maintenance: Sequence[float],
+    total_contacts: Sequence[int],
+    lost_per_bin: Sequence[int],
+    *,
+    n: int,
+    R: int,
+    r: int,
+    raw: Dict[str, object],
+) -> ExperimentResult:
+    """Assemble the Fig 13 stability table (shared legacy/campaign)."""
     headers = ["t (s)", "Maintenance/node", "Total contacts", "Lost this bin"]
     rows: List[List[object]] = []
-    for i, t in enumerate(res.times):
+    for i, t in enumerate(times):
         rows.append(
             [
                 t,
-                round(res.maintenance[i], 2),
-                res.total_contacts[i],
-                res.lost_per_bin[i],
+                round(maintenance[i], 2),
+                total_contacts[i],
+                lost_per_bin[i],
             ]
         )
     plot = ascii_series(
         {
-            "maintenance/node": res.maintenance,
-            "contacts/10": [c / 10.0 for c in res.total_contacts],
+            "maintenance/node": list(maintenance),
+            "contacts/10": [c / 10.0 for c in total_contacts],
         },
-        res.times,
+        list(times),
         title="Fig 13 — maintenance decays while contacts stabilise",
     )
     return ExperimentResult(
@@ -294,5 +331,36 @@ def run_fig13(
             f"slow tail provides the stable contacts), pause {DEFAULT_PAUSE}s",
         ],
         plots=[plot],
+        raw=raw,
+    )
+
+
+def run_fig13(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    duration: float = 20.0,
+    num_sources: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig 13 — maintenance overhead and total contacts over 20 seconds."""
+    n = scaled(250, scale, minimum=60)
+    R, r = fig13_hop_params(n)
+    res = _run_series(
+        CARDParams(R=R, r=r, noc=6),
+        num_nodes=n,
+        duration=duration,
+        seed=seed,
+        num_sources=num_sources,
+        salt="fig13",
+        speed=FIG13_SPEED,
+    )
+    return fig13_table(
+        res.times,
+        res.maintenance,
+        res.total_contacts,
+        res.lost_per_bin,
+        n=n,
+        R=R,
+        r=r,
         raw={"series": res},
     )

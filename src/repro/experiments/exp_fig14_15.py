@@ -39,7 +39,97 @@ from repro.routing.neighborhood import NeighborhoodTables
 from repro.scenarios.factory import FIG15_CONFIGS, build_topology, query_workload
 from repro.util.ascii_plot import ascii_series
 
-__all__ = ["run_fig14", "run_fig15"]
+__all__ = ["run_fig14", "run_fig15", "tradeoff_table", "fig15_table"]
+
+
+def tradeoff_table(
+    noc_values: List[int],
+    reach: List[float],
+    overhead: List[float],
+    frac50: List[float],
+    *,
+    n: int,
+    R: int,
+    r: int,
+    validation_rounds: int,
+    raw: Dict[str, object],
+) -> ExperimentResult:
+    """Assemble the Fig 14 trade-off table (shared legacy/campaign)."""
+    rows_norm = normalized_tradeoff(noc_values, reach, overhead)
+    headers = ["NoC", "Reach (norm)", "Overhead (norm)", "Reach %", "Ovh msgs/node", ">=50% frac"]
+    rows: List[List[object]] = []
+    for i, (k, rn, on) in enumerate(rows_norm):
+        rows.append(
+            [k, round(rn, 3), round(on, 3), round(reach[i], 2), round(overhead[i], 1), round(frac50[i], 3)]
+        )
+    plot = ascii_series(
+        {
+            "reachability": [row[1] for row in rows_norm],
+            "overhead": [row[2] for row in rows_norm],
+        },
+        noc_values,
+        title="Fig 14 — normalized reachability vs overhead",
+    )
+    return ExperimentResult(
+        exp_id="fig14",
+        title="Fig 14 — Trade-off between reachability and contact overhead",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper: a desirable region exists where reachability >= 50 % at "
+            "moderate overhead (reachability saturates, overhead keeps rising)",
+            f"N={n}, R={R}, r={r}, D=1; maintenance term = "
+            f"{validation_rounds} validation cycles over stored routes",
+        ],
+        plots=[plot],
+        raw=raw,
+    )
+
+
+def fig15_table(
+    rows: List[List[object]],
+    series: Dict[str, List[float]],
+    *,
+    num_queries: int,
+    raw: Dict[str, object],
+) -> ExperimentResult:
+    """Assemble the Fig 15 comparison table (shared legacy/campaign)."""
+    headers = [
+        "N",
+        "Flood msgs",
+        "Border msgs",
+        "CARD msgs",
+        "Flood events",
+        "Border events",
+        "CARD events",
+        "CARD overhead",
+        "Flood succ%",
+        "Border succ%",
+        "CARD succ%",
+    ]
+    plot = ascii_series(
+        series,
+        [row[0] for row in rows],
+        title="Fig 15 — querying traffic vs network size",
+    )
+    return ExperimentResult(
+        exp_id="fig15",
+        title="Fig 15 — Comparison of CARD with flooding and bordercasting",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper: CARD's querying traffic is far below bordercasting and "
+            "flooding; CARD succeeds ~95 % at D=3, the blind schemes ~100 %",
+            f"workload: {num_queries} random (source, target) pairs per size; "
+            "msgs = transmissions (the paper's §III.B control-message count), "
+            "events = tx+rx on the broadcast medium (flood/bordercast "
+            "transmissions are heard by ~node-degree radios, CARD's unicast "
+            "DSQ hops by one) — the NS-2-style metric behind the paper's gap",
+            "bordercasting uses QD1+QD2; zone radius equals CARD's R per size",
+        ],
+        plots=[plot],
+        raw=raw,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -85,33 +175,15 @@ def run_fig14(
             runner.sources, max_contacts=k if k > 0 else 0
         )
         frac50.append(fraction_above(pr, 50.0))
-    rows_norm = normalized_tradeoff(noc_values, reach, overhead)
-    headers = ["NoC", "Reach (norm)", "Overhead (norm)", "Reach %", "Ovh msgs/node", ">=50% frac"]
-    rows: List[List[object]] = []
-    for i, (k, rn, on) in enumerate(rows_norm):
-        rows.append(
-            [k, round(rn, 3), round(on, 3), round(reach[i], 2), round(overhead[i], 1), round(frac50[i], 3)]
-        )
-    plot = ascii_series(
-        {
-            "reachability": [row[1] for row in rows_norm],
-            "overhead": [row[2] for row in rows_norm],
-        },
+    return tradeoff_table(
         noc_values,
-        title="Fig 14 — normalized reachability vs overhead",
-    )
-    return ExperimentResult(
-        exp_id="fig14",
-        title="Fig 14 — Trade-off between reachability and contact overhead",
-        headers=headers,
-        rows=rows,
-        notes=[
-            "paper: a desirable region exists where reachability >= 50 % at "
-            "moderate overhead (reachability saturates, overhead keeps rising)",
-            f"N={n}, R={R}, r={r}, D=1; maintenance term = "
-            f"{validation_rounds} validation cycles over stored routes",
-        ],
-        plots=[plot],
+        reach,
+        overhead,
+        frac50,
+        n=n,
+        R=R,
+        r=r,
+        validation_rounds=validation_rounds,
         raw={"noc": noc_values, "reach": reach, "overhead": overhead},
     )
 
@@ -133,19 +205,6 @@ def run_fig15(
     messages per query, success rate, and CARD's standing overhead.
     """
     sizes = list(num_sizes) if num_sizes is not None else [c.num_nodes for c in FIG15_CONFIGS]
-    headers = [
-        "N",
-        "Flood msgs",
-        "Border msgs",
-        "CARD msgs",
-        "Flood events",
-        "Border events",
-        "CARD events",
-        "CARD overhead",
-        "Flood succ%",
-        "Border succ%",
-        "CARD succ%",
-    ]
     rows: List[List[object]] = []
     raw: Dict[str, object] = {}
     series: Dict[str, List[float]] = {"Flooding": [], "Bordercasting": [], "CARD": []}
@@ -197,26 +256,4 @@ def run_fig15(
         for name in series:
             series[name].append(float(by_name[name].query_events))
         raw[f"N={cfg.num_nodes}"] = result_rows
-    plot = ascii_series(
-        series,
-        [row[0] for row in rows],
-        title="Fig 15 — querying traffic vs network size",
-    )
-    return ExperimentResult(
-        exp_id="fig15",
-        title="Fig 15 — Comparison of CARD with flooding and bordercasting",
-        headers=headers,
-        rows=rows,
-        notes=[
-            "paper: CARD's querying traffic is far below bordercasting and "
-            "flooding; CARD succeeds ~95 % at D=3, the blind schemes ~100 %",
-            f"workload: {num_queries} random (source, target) pairs per size; "
-            "msgs = transmissions (the paper's §III.B control-message count), "
-            "events = tx+rx on the broadcast medium (flood/bordercast "
-            "transmissions are heard by ~node-degree radios, CARD's unicast "
-            "DSQ hops by one) — the NS-2-style metric behind the paper's gap",
-            "bordercasting uses QD1+QD2; zone radius equals CARD's R per size",
-        ],
-        plots=[plot],
-        raw=raw,
-    )
+    return fig15_table(rows, series, num_queries=num_queries, raw=raw)

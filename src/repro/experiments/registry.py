@@ -1,10 +1,17 @@
-"""Experiment registry: id → runner function."""
+"""Experiment registry: id → runner function.
+
+Every non-derived experiment id also has a ``<id>_campaign`` twin that
+produces the identical artifact through the ``repro.campaign`` engine
+(declarative spec → cached/parallel/resumable cells → reducer); the
+twins are registered as derived so ``python -m repro.experiments all``
+produces each artifact exactly once.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet
 
-from repro.campaign.figures import run_fig07_campaign, run_table1_campaign
+from repro.campaign.figures import CAMPAIGN_FIGURES
 from repro.experiments.base import ExperimentResult
 from repro.experiments.exp_ablations import (
     run_ablation_mobility,
@@ -67,16 +74,19 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation_failures": run_ablation_failures,
     "ablation_edge_policy": run_ablation_edge_policy,
     "smallworld": run_smallworld,
-    "fig07_campaign": run_fig07_campaign,
-    "table1_campaign": run_table1_campaign,
 }
+
+#: campaign twins — one per ported legacy id (incl. the fig03_04 joint)
+EXPERIMENTS.update(
+    {f"{exp_id}_campaign": port.run for exp_id, port in CAMPAIGN_FIGURES.items()}
+)
 
 #: Experiments that merely re-derive another registered artifact
 #: (composites and campaign-engine twins).  ``python -m repro.experiments
 #: all`` skips these so each artifact is produced exactly once; they stay
 #: individually runnable by id.
 DERIVED_EXPERIMENTS: FrozenSet[str] = frozenset(
-    {"fig03_04", "fig07_campaign", "table1_campaign"}
+    {"fig03_04"} | {f"{exp_id}_campaign" for exp_id in CAMPAIGN_FIGURES}
 )
 
 
