@@ -11,6 +11,6 @@ def test_fig10(benchmark, repro_scale, repro_sources):
         benchmark, "fig10", scale=repro_scale, seed=0,
         num_sources=repro_sources, duration=10.0,
     )
-    lo = sum(result.raw["NoC=3"].overhead)
-    hi = sum(result.raw["NoC=7"].overhead)
+    lo = sum(result.raw["NoC=3"]["overhead"])
+    hi = sum(result.raw["NoC=7"]["overhead"])
     assert hi >= lo

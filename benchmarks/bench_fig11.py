@@ -18,5 +18,5 @@ def test_fig11(benchmark, repro_scale, repro_sources):
     )
     assert set(result.raw) == {"r=8", "r=9", "r=10", "r=12", "r=15"}
     for series in result.raw.values():
-        assert len(series.overhead) == 5
-        assert sum(series.overhead) > 0
+        assert len(series["overhead"]) == 5
+        assert sum(series["overhead"]) > 0

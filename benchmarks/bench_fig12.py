@@ -14,5 +14,5 @@ def test_fig12(benchmark, repro_scale, repro_sources):
         num_sources=repro_sources, duration=10.0,
     )
     for series in result.raw.values():
-        for back, total in zip(series.backtracking, series.overhead):
+        for back, total in zip(series["backtracking"], series["overhead"]):
             assert back <= total + 1e-9

@@ -13,5 +13,5 @@ def test_fig13(benchmark, repro_scale, repro_sources):
         num_sources=repro_sources, duration=20.0,
     )
     series = result.raw["series"]
-    assert len(series.times) == 10
-    assert series.total_contacts[-1] > 0
+    assert len(series["times"]) == 10
+    assert series["total_contacts"][-1] > 0

@@ -14,7 +14,7 @@ def test_smallworld(benchmark, repro_scale, repro_sources):
     )
     reports = result.raw
     ks = sorted(reports)
-    lengths = [reports[k].augmented_path_length for k in ks]
+    lengths = [reports[k]["augmented_path_length"] for k in ks]
     assert all(b <= a + 1e-9 for a, b in zip(lengths, lengths[1:]))
-    clusterings = {round(reports[k].clustering, 6) for k in ks}
+    clusterings = {round(reports[k]["clustering"], 6) for k in ks}
     assert len(clusterings) == 1  # physical property, NoC-independent

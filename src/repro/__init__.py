@@ -23,10 +23,16 @@ Package layout
 ``repro.discovery``  — flooding / expanding-ring / bordercast baselines
 ``repro.scenarios``  — Table 1 scenarios and workload generation
 ``repro.metrics``    — comparison and summary helpers
-``repro.experiments``— one module per paper table/figure
 ``repro.campaign``   — declarative sweep grids run over a process pool
                        with a persistent, resumable JSONL result store
                        (``python -m repro.campaign``)
+``repro.artifacts``  — the paper-artifact registry: each table/figure as
+                       an ``Artifact`` (spec builder + reducer + metadata)
+``repro.experiments``— campaign-first regeneration by id (CLI); the old
+                       per-figure loops live on in ``experiments.legacy``
+                       as parity oracles
+``repro.api``        — the stable facade: ``list_artifacts`` /
+                       ``describe`` / ``run`` (multi-seed mean ± CI)
 """
 
 from repro._version import __version__

@@ -1,0 +1,203 @@
+"""Stable public facade over the paper-artifact registry.
+
+This module is the supported way to script against the reproduction:
+
+>>> import repro.api as api
+>>> api.list_artifacts()[:3]
+['ablation_edge_policy', 'ablation_failures', 'ablation_mobility']
+>>> api.describe("fig07").section
+'§IV.A, Fig 7'
+>>> result = api.run("fig07", scale=0.2, num_sources=20)
+>>> print(result.render())          # doctest: +SKIP
+
+Everything runs campaign-first: :func:`run` expands the artifact's
+declarative :class:`~repro.campaign.spec.CampaignSpec`, executes only
+the cells missing from ``store`` (content-hash keyed, so warm stores —
+including stores written before the campaign-first flip — are pure cache
+hits), fans independent cells over ``workers`` processes, and reduces
+the store back into an :class:`~repro.artifacts.result.ExperimentResult`.
+
+Single seed (the default) reproduces the paper's artifact bit-for-bit
+as validated by the ``pytest -m parity`` matrix.  A multi-seed tuple —
+``run("fig07", seeds=(0, 1, 2))`` — reruns the sweep once per seed and
+reduces to a mean ± 95 %-CI variant via
+:func:`repro.campaign.aggregate.group_reduce` (one row per case/grid
+configuration, averaged over seeds only).
+
+Layering contract: this module never imports
+:mod:`repro.experiments.legacy` (nor anything else under
+:mod:`repro.experiments`) — the legacy loops are parity oracles, not an
+execution path.  ``tests/test_api.py`` enforces this in a fresh
+interpreter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.artifacts.registry import (
+    ARTIFACTS,
+    Artifact,
+    artifact_ids,
+    campaign_note,
+    ensure_report_ok,
+    get_artifact,
+)
+from repro.artifacts.result import ExperimentResult
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import ResultStore
+
+__all__ = ["list_artifacts", "describe", "run", "ExperimentResult", "Artifact"]
+
+StoreLike = Union[None, str, Path, ResultStore]
+
+
+def list_artifacts() -> list:
+    """All artifact ids the registry can regenerate, sorted."""
+    return artifact_ids()
+
+
+def describe(artifact_id: str) -> Artifact:
+    """The artifact's declarative bundle: spec builder, reducer, metadata.
+
+    Raises ``ValueError`` (with the valid ids) for unknown ids.
+    """
+    return get_artifact(artifact_id)
+
+
+def _as_store(store: StoreLike) -> ResultStore:
+    if store is None:
+        return ResultStore(None)
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(Path(store))
+
+
+def run(
+    artifact_id: str,
+    *,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+    workers: int = 1,
+    store: StoreLike = None,
+    resume: bool = True,
+    **options,
+) -> ExperimentResult:
+    """Regenerate one artifact through the campaign engine.
+
+    Parameters
+    ----------
+    artifact_id:
+        An id from :func:`list_artifacts`.
+    scale:
+        Size scale in (0, 1]; defaults to the artifact's
+        ``default_scale`` (1.0, the paper's configuration).
+    seed:
+        Root seed for the single-seed (paper-exact) artifact; defaults
+        to the artifact's ``default_seeds[0]`` (0).  Mutually exclusive
+        with ``seeds``.
+    seeds:
+        A tuple of distinct root seeds switches to the mean ± 95 %-CI
+        variant: the sweep runs once per seed and
+        :func:`~repro.campaign.aggregate.group_reduce` averages each
+        case/grid configuration over seeds.  A one-element tuple
+        degenerates to the exact single-seed artifact.
+    workers:
+        Campaign process-pool width (1 = deterministic in-process).
+    store:
+        ``ResultStore``, path, or None (ephemeral).  A persistent store
+        makes re-runs incremental: cells already stored are cache hits.
+    resume:
+        True (default) reuses stored cells; False re-executes every cell
+        even when cached (a forced re-measurement — results are
+        re-appended, the store is never rewritten).
+    options:
+        Artifact-specific knobs, validated against the artifact's spec
+        builder and reducer (e.g. ``noc_values=`` for fig07,
+        ``duration=`` for the time-series artifacts).
+
+    Returns
+    -------
+    ExperimentResult
+        The rendered-table bundle; ``result.render()`` prints it.
+    """
+    artifact = get_artifact(artifact_id)
+    result_store = _as_store(store)
+    if seeds is not None:
+        if seed is not None:
+            raise ValueError(
+                "pass either seed= (exact artifact) or seeds= (mean±CI), "
+                "not both"
+            )
+        seed_tuple = tuple(int(s) for s in seeds)
+        if not seed_tuple:
+            raise ValueError("seeds must be a non-empty tuple of ints")
+        if len(set(seed_tuple)) != len(seed_tuple):
+            raise ValueError(
+                f"seeds {seed_tuple} contains duplicates; each seed enters "
+                "the mean/CI exactly once"
+            )
+        if len(seed_tuple) > 1:
+            if scale is not None:
+                options["scale"] = scale
+            return _run_multi_seed(
+                artifact,
+                seed_tuple,
+                store=result_store,
+                workers=workers,
+                force=not resume,
+                **options,
+            )
+        seed = seed_tuple[0]  # degenerate tuple: the exact artifact
+    # unset scale/seed fall through to the artifact's declared defaults
+    if scale is not None:
+        options["scale"] = scale
+    if seed is not None:
+        options["seed"] = int(seed)
+    return artifact.run(
+        store=result_store,
+        n_workers=workers,
+        force=not resume,
+        **options,
+    )
+
+
+def _run_multi_seed(
+    artifact: Artifact,
+    seeds: tuple,
+    *,
+    store: ResultStore,
+    workers: int,
+    force: bool,
+    **options,
+) -> ExperimentResult:
+    """Mean ± CI variant: the artifact's sweep × seeds, group-reduced.
+
+    The spec is the artifact's own (so every cell keeps the content hash
+    a single-seed run would produce — the store is shared between both
+    variants) with its seed axis widened to ``seeds``.
+    """
+    from repro.campaign.aggregate import aggregate_table
+
+    reducer_only = artifact.reducer_only_options() & set(options)
+    if reducer_only:
+        raise ValueError(
+            f"options {sorted(reducer_only)} only affect {artifact.id!r}'s "
+            "exact single-seed reduction; the seeds= mean±CI variant "
+            "reduces via group_reduce and would silently ignore them — "
+            "drop them or run single-seed"
+        )
+    spec = dataclasses.replace(artifact.spec(seed=seeds[0], **options), seeds=seeds)
+    report = CampaignRunner(spec, store=store, n_workers=workers).run(force=force)
+    ensure_report_ok(report, spec.name)
+    result = aggregate_table(
+        spec,
+        store,
+        title=f"{artifact.title} — mean ± 95% CI over {len(seeds)} seeds",
+    )
+    result.exp_id = artifact.id
+    result.notes.append(f"seeds {tuple(seeds)}; {campaign_note(report)}")
+    return result

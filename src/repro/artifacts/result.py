@@ -1,0 +1,55 @@
+"""The renderable artifact result type.
+
+:class:`ExperimentResult` is the common currency of every artifact
+producer — the campaign reducers, the aggregation layer and the legacy
+parity oracles all return one.  It lives here (below both the campaign
+engine and the experiment harness) so that :mod:`repro.api` and
+:mod:`repro.campaign` can produce results without importing
+:mod:`repro.experiments`; the old import location
+``repro.experiments.base.ExperimentResult`` remains as a re-export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.util.tables import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure, renderable as text.
+
+    Attributes
+    ----------
+    exp_id, title:
+        Identity ("fig07", "Fig 7 — Effect of NoC on Reachability").
+    headers, rows:
+        The tabular data that regenerates the artifact.
+    notes:
+        Substitutions, scale factors, interpretation reminders.
+    plots:
+        Pre-rendered ASCII figures appended after the table.
+    raw:
+        Machine-readable extras for tests/benchmarks (series arrays etc.).
+    """
+
+    exp_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: List[str] = field(default_factory=list)
+    plots: List[str] = field(default_factory=list)
+    raw: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [
+            format_table(self.headers, self.rows, title=f"== {self.title} =="),
+        ]
+        parts.extend(self.plots)
+        if self.notes:
+            parts.append("\n".join(f"note: {n}" for n in self.notes))
+        return "\n\n".join(parts)

@@ -17,13 +17,15 @@ objects instead of bespoke per-figure loops:
 * :mod:`repro.campaign.store` — :class:`ResultStore`, an append-only
   JSONL store giving crash-safe persistence, cache hits and ``resume``;
 * :mod:`repro.campaign.aggregate` — group-by / mean / CI reduction of
-  stored cells back into :class:`~repro.experiments.base.ExperimentResult`
+  stored cells back into :class:`~repro.artifacts.result.ExperimentResult`
   tables, plus the label → metrics join the figure reducers use;
-* :mod:`repro.campaign.figures` — **every** registered experiment
+* :mod:`repro.campaign.figures` — **every** registered artifact
   (Table 1, Figs 3-15, the ablations and extensions) expressed as a
-  campaign spec + reducer whose output is bit-identical to the legacy
-  runner (registered as ``<id>_campaign``, enforced by
-  ``pytest -m parity``);
+  campaign spec builder + store reducer whose output is bit-identical
+  to its legacy oracle (enforced by ``pytest -m parity``); the
+  :mod:`repro.artifacts.registry` binds them into the
+  :class:`~repro.artifacts.registry.Artifact` registry that the
+  ``repro.api`` facade and the experiment CLI execute;
 * ``python -m repro.campaign run|resume|status|report|figure`` — the
   command-line workflow (see ``--help``; ``figure <id>`` regenerates any
   paper artifact, ``report --format csv|json`` feeds external plotting).
@@ -102,15 +104,14 @@ _LAZY_FIGURES = (
 
 
 def __getattr__(name):
-    """Lazy access to the harness-coupled submodules (PEP 562).
+    """Lazy access to the heavier submodules (PEP 562).
 
-    ``aggregate`` and ``figures`` import the experiment harness (for
-    ``ExperimentResult`` and the shared table assembly), and the
-    harness's registry imports ``figures`` back to register the campaign
-    ports.  Deferring these edges keeps both import orders
-    (``import repro.campaign`` first, or ``import repro.experiments``
-    first) cycle-free — and keeps plain ``import repro`` from loading
-    every ``exp_*`` module.
+    ``aggregate`` and ``figures`` pull in the artifact layer and every
+    spec builder/reducer; deferring them keeps plain ``import repro``
+    lightweight.  The pre-redesign registry surface (``CAMPAIGN_FIGURES``,
+    ``get_figure_port``, ``run_<id>_campaign``) now lives in
+    :mod:`repro.artifacts.registry` and resolves through
+    ``figures.__getattr__`` for backward compatibility.
     """
     if name == "aggregate" or name in _LAZY_AGGREGATE:
         import repro.campaign.aggregate as aggregate

@@ -44,7 +44,6 @@ from __future__ import annotations
 
 import argparse
 import csv
-import inspect
 import json
 import os
 import sys
@@ -188,27 +187,22 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_figure(args) -> int:
-    """Write a figure's spec, or execute + reduce it to the legacy table."""
-    from repro.campaign.figures import get_figure_port
+    """Write an artifact's spec, or execute + reduce it to its table.
 
-    port = get_figure_port(args.exp_id)
+    Unknown ids fail with the full list of valid artifact ids (the
+    registry's ``ValueError``, rendered by ``main``'s error handler).
+    """
+    from repro.artifacts.registry import get_artifact
 
-    def filtered(fn, extra):
-        params = inspect.signature(fn).parameters
-        kwargs = {"scale": args.scale, "seed": args.seed}
-        if args.sources is not None:
-            kwargs["num_sources"] = args.sources
-        if args.duration is not None:
-            kwargs["duration"] = args.duration
-        kwargs.update(extra)
-        if any(
-            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
-        ):
-            return kwargs  # fn forwards **kwargs — nothing to filter out
-        return {k: v for k, v in kwargs.items() if k in params}
+    artifact = get_artifact(args.exp_id)
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if args.sources is not None:
+        kwargs["num_sources"] = args.sources
+    if args.duration is not None:
+        kwargs["duration"] = args.duration
 
     if args.out is not None:
-        spec = port.build_spec(**filtered(port.build_spec, {}))
+        spec = artifact.spec(**kwargs)
         out = Path(args.out)
         spec.save(out)
         print(f"wrote {spec.num_cells}-cell spec {spec.name!r} to {out}")
@@ -219,9 +213,7 @@ def _cmd_figure(args) -> int:
         )
         return 0
     store = ResultStore(Path(args.store)) if args.store else ResultStore(None)
-    result = port.run(
-        **filtered(port.run, {"store": store, "n_workers": args.workers})
-    )
+    result = artifact.run(store=store, n_workers=args.workers, **kwargs)
     print(result.render())
     if store.path is not None:
         print(f"store: {store.path} ({len(store)} records)")
@@ -326,10 +318,11 @@ def main(argv: Optional[list] = None) -> int:
     )
     p_figure = sub.add_parser(
         "figure",
-        help="write a paper figure's spec (--out) or execute+render it",
+        help="write a paper artifact's spec (--out) or execute+render it",
     )
     p_figure.add_argument(
-        "exp_id", help="legacy experiment id (e.g. fig10, table1, smallworld)"
+        "exp_id",
+        help="artifact id (e.g. fig10, table1, smallworld, mobility_rate)",
     )
     p_figure.add_argument(
         "--out",

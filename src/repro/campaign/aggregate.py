@@ -22,14 +22,15 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.artifacts.result import ExperimentResult
 from repro.campaign.spec import CampaignSpec, CellSpec
 from repro.campaign.store import ResultStore
-from repro.experiments.base import ExperimentResult
 
 __all__ = [
     "CellRecord",
     "unique_cells",
     "stored_records",
+    "require_metrics",
     "labeled_metrics",
     "field_value",
     "mean_ci",
@@ -77,6 +78,25 @@ def stored_records(spec: CampaignSpec, store: ResultStore) -> List[CellRecord]:
     ]
 
 
+def require_metrics(
+    store: ResultStore, cell: CellSpec, *, what: str, spec_name: str
+) -> Dict[str, object]:
+    """The cell's stored metrics, or the standard resume-hint ``KeyError``.
+
+    ``what`` names the cell for the error (``"case 'R=3'"``,
+    ``"scenario 5"``, ``"NoC=4"``); every reducer that reads the store
+    directly goes through here so the missing-cell UX stays uniform.
+    """
+    metrics = store.metrics(cell.key())
+    if metrics is None:
+        raise KeyError(
+            f"cell {cell.key()[:12]} ({what}) of campaign "
+            f"{spec_name!r} is not in the store — run `resume` to fill "
+            "missing cells"
+        )
+    return metrics
+
+
 def labeled_metrics(
     spec: CampaignSpec, store: ResultStore
 ) -> Dict[str, Dict[str, object]]:
@@ -101,14 +121,9 @@ def labeled_metrics(
                 "multiple cells (several seeds/topologies); reduce it with "
                 "group_reduce/aggregate_table instead"
             )
-        metrics = store.metrics(cell.key())
-        if metrics is None:
-            raise KeyError(
-                f"cell {cell.key()[:12]} (case {label!r}) of campaign "
-                f"{spec.name!r} is not in the store — run `resume` to fill "
-                "missing cells"
-            )
-        out[label] = metrics
+        out[label] = require_metrics(
+            store, cell, what=f"case {label!r}", spec_name=spec.name
+        )
     return out
 
 

@@ -1,53 +1,89 @@
-"""Every paper figure/table expressed as a campaign spec + reducer.
+"""Every paper figure/table as a campaign spec builder + store reducer.
 
-Each registered experiment ``<id>`` has a campaign-native twin
-``<id>_campaign`` here: the artifact is *declared* as a
-:class:`~repro.campaign.spec.CampaignSpec` (one content-hashed cell per
-swept configuration), executed through the
-:class:`~repro.campaign.runner.CampaignRunner` (cached, parallelisable,
-shardable, resumable), and reduced back into the **exact** table the
-legacy runner prints — same headers, same rows, same ASCII plots.  The
-parity matrix in ``tests/test_campaign_figures.py`` enforces the
-bit-for-bit claim for every port, across seeds and worker counts.
+Each artifact ``<id>`` is declared in two halves:
 
-Why the numbers match the legacy paths exactly:
+* ``<id>_spec(**kwargs)`` builds the
+  :class:`~repro.campaign.spec.CampaignSpec` — one content-hashed cell
+  per swept configuration, executed through the
+  :class:`~repro.campaign.runner.CampaignRunner` (cached,
+  parallelisable, shardable, resumable);
+* ``reduce_<id>(spec, store, **kwargs)`` turns the stored cells back
+  into the **exact** table the legacy oracle prints — same headers, same
+  rows, same ASCII plots — via the shared assembly in
+  :mod:`repro.artifacts.tables`.
+
+:mod:`repro.artifacts.registry` binds the halves (plus metadata) into
+:class:`~repro.artifacts.registry.Artifact` objects; the parity matrix
+in ``tests/test_campaign_figures.py`` holds every reduced artifact
+bit-for-bit equal to its oracle in :mod:`repro.experiments.legacy`,
+across seeds and worker counts.
+
+Why the numbers match the legacy oracles exactly:
 
 * *distribution figures* (Figs 3-9, 14, smallworld) — contact selection
   is sequential, so an independent NoC=k cell equals the first k
   contacts of a legacy NoC=max sweep, including the per-contact message
   marks (the property ``SnapshotRunner.sweep_noc`` documents); topology,
   source-sample and protocol seeds are derived identically;
-* *time-series figures* (Figs 10-13, mobility/recovery ablations) — a
-  cell rebuilds the same topology and mobility streams from its own
-  seed, so ``TimeSeriesRunner`` emits the same binned series the legacy
-  loop recorded;
+* *time-series figures* (Figs 10-13, mobility/recovery ablations, the
+  campaign-native ``mobility_rate`` sweep) — a cell rebuilds the same
+  topology and mobility streams from its own seed, so
+  ``TimeSeriesRunner`` emits the same binned series the legacy loop
+  recorded;
 * *workload figures* (Fig 15, query/failure ablations) — the executor
   mirrors the legacy construction order (same namespaced RNG streams),
   one cell per topology/scheme.
 
-Because cells are keyed by content hash, ports overlap in the store:
+Because cells are keyed by content hash, artifacts overlap in the store:
 ``fig12`` re-reads ``fig11``'s cells, ``fig04`` re-reads a prefix of
 ``fig03``'s, and a shared ``--store`` turns the whole evaluation into
-one incremental artifact set.
-
-NOTE this module must not import anything under ``repro.experiments``
-(nor :mod:`repro.campaign.aggregate`, which does) at the top level: the
-experiment registry imports us while ``repro.experiments`` is
-initialising, so an eager edge back into the harness is a circular
-import whenever we are the first module loaded.  The harness imports
-(``ExperimentResult``, the shared table assembly) happen inside the
-``run_*`` functions, by which time the registry — and with it the whole
-package — is fully initialised.
+one incremental artifact set.  The cell schema is untouched by this
+module's split into builders and reducers, so stores written before the
+campaign-first flip stay warm.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.campaign.runner import CampaignReport, CampaignRunner
+from repro.artifacts.result import ExperimentResult
+from repro.artifacts.tables import (
+    ABLATION_MOBILITY_CONFIGS,
+    DEFAULT_PAUSE,
+    DEFAULT_SPEED,
+    FIG13_SPEED,
+    OVERLAP_VARIANTS,
+    PM_EQ_VARIANTS,
+    TABLE1_HEADERS,
+    distribution_table,
+    failures_table,
+    fig13_hop_params,
+    fig13_table,
+    fig15_table,
+    edge_policy_row,
+    edge_policy_table,
+    mobility_rate_table,
+    mobility_row,
+    mobility_table,
+    overlap_row,
+    overlap_table,
+    pm_em_table,
+    pm_eq_row,
+    pm_eq_table,
+    query_row,
+    query_table,
+    recovery_row,
+    recovery_table,
+    scenario_row,
+    series_table,
+    smallworld_row,
+    smallworld_table,
+    table1_notes,
+    tradeoff_table,
+)
+from repro.campaign.aggregate import labeled_metrics, require_metrics
 from repro.campaign.spec import (
     CampaignSpec,
     CaseSpec,
@@ -58,14 +94,7 @@ from repro.campaign.store import ResultStore
 from repro.scenarios.factory import FIG9_CONFIGS, FIG15_CONFIGS, scaled
 from repro.scenarios.table1 import TABLE1_SCENARIOS
 
-if TYPE_CHECKING:  # pragma: no cover - harness import deferred (see NOTE)
-    from repro.experiments.base import ExperimentResult
-
 __all__ = [
-    "CAMPAIGN_FIGURES",
-    "FigurePort",
-    "campaign_figure_ids",
-    "get_figure_port",
     # spec builders
     "fig03_04_spec",
     "fig05_spec",
@@ -88,77 +117,63 @@ __all__ = [
     "ablation_failures_spec",
     "ablation_edge_policy_spec",
     "smallworld_spec",
-    # campaign runners (legacy-table-identical reducers)
-    "run_fig03_campaign",
-    "run_fig04_campaign",
-    "run_fig03_04_campaign",
-    "run_fig05_campaign",
-    "run_fig06_campaign",
-    "run_fig07_campaign",
-    "run_fig08_campaign",
-    "run_fig09_campaign",
-    "run_fig10_campaign",
-    "run_fig11_campaign",
-    "run_fig12_campaign",
-    "run_fig13_campaign",
-    "run_fig14_campaign",
-    "run_fig15_campaign",
-    "run_table1_campaign",
-    "run_ablation_pm_eq_campaign",
-    "run_ablation_overlap_campaign",
-    "run_ablation_recovery_campaign",
-    "run_ablation_query_campaign",
-    "run_ablation_mobility_campaign",
-    "run_ablation_failures_campaign",
-    "run_ablation_edge_policy_campaign",
-    "run_smallworld_campaign",
+    "mobility_rate_spec",
+    # store reducers (legacy-table-identical)
+    "reduce_fig03",
+    "reduce_fig04",
+    "reduce_fig03_04",
+    "reduce_fig05",
+    "reduce_fig06",
+    "reduce_fig07",
+    "reduce_fig08",
+    "reduce_fig09",
+    "reduce_fig10",
+    "reduce_fig11",
+    "reduce_fig12",
+    "reduce_fig13",
+    "reduce_fig14",
+    "reduce_fig15",
+    "reduce_table1",
+    "reduce_ablation_pm_eq",
+    "reduce_ablation_overlap",
+    "reduce_ablation_recovery",
+    "reduce_ablation_query",
+    "reduce_ablation_mobility",
+    "reduce_ablation_failures",
+    "reduce_ablation_edge_policy",
+    "reduce_smallworld",
+    "reduce_mobility_rate",
+    "require_single_seed",
+    # moved to repro.artifacts.registry; resolved lazily for compat
+    "CAMPAIGN_FIGURES",
+    "FigurePort",
+    "campaign_figure_ids",
+    "get_figure_port",
 ]
 
 
-# ----------------------------------------------------------------------
-# shared machinery
-# ----------------------------------------------------------------------
-def _execute(
-    spec: CampaignSpec,
-    store: Optional[ResultStore],
-    n_workers: int,
-) -> Tuple[ResultStore, CampaignReport]:
-    """Run a figure's spec; raise with the first traceback on failure."""
-    if store is None:
-        store = ResultStore(None)
-    report = CampaignRunner(spec, store=store, n_workers=n_workers).run()
-    if not report.ok:
-        errors = [o.error for o in report.outcomes if o.error]
-        raise RuntimeError(
-            f"{spec.name} campaign had {report.failed} failed cells:\n{errors[0]}"
+def _case_noc(label: str) -> int:
+    """The NoC value out of a ``...NoC=k`` case label."""
+    return int(label.rsplit("=", 1)[1])
+
+
+def require_single_seed(spec: CampaignSpec) -> None:
+    """Bit-for-bit reducers refuse multi-seed specs instead of silently
+    keying cells by label/scenario (later seeds would overwrite earlier
+    ones).  Averaging over seeds is ``group_reduce``'s job — use
+    ``repro.api.run(id, seeds=(…))`` for the mean ± CI variant.
+    ``Artifact.run`` applies the same check *before* executing the sweep."""
+    if len(set(spec.seeds)) > 1:
+        raise ValueError(
+            f"campaign {spec.name!r} spans seeds {tuple(spec.seeds)}; a "
+            "bit-for-bit reducer needs exactly one — use "
+            "repro.api.run(..., seeds=...) / aggregate.group_reduce for "
+            "the mean±CI variant"
         )
-    return store, report
-
-
-def _campaign_note(report: CampaignReport) -> str:
-    return (
-        f"via repro.campaign ({report.executed} cells executed, "
-        f"{report.cached} cached)"
-    )
-
-
-def _labeled(spec: CampaignSpec, store: ResultStore) -> Dict[str, Dict[str, object]]:
-    from repro.campaign.aggregate import labeled_metrics
-
-    return labeled_metrics(spec, store)
-
-
-def _as_campaign(result: "ExperimentResult", report: CampaignReport) -> "ExperimentResult":
-    """Mark a reduced result as the campaign twin of its legacy artifact."""
-    result.exp_id = f"{result.exp_id}_campaign"
-    result.notes = list(result.notes) + [_campaign_note(report)]
-    return result
 
 
 #: default mobility of the Figs 10-12 overhead experiments (moderate RWP)
 def _default_mobility() -> MobilitySpec:
-    from repro.experiments.exp_fig10_13 import DEFAULT_PAUSE, DEFAULT_SPEED
-
     return MobilitySpec(
         model="rwp",
         min_speed=DEFAULT_SPEED[0],
@@ -196,24 +211,14 @@ def fig03_04_spec(
     )
 
 
-def run_fig03_04_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    max_noc: int = 9,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Figs 3+4 through the campaign engine (matches ``run_fig03_04``)."""
-    from repro.experiments.exp_fig03_04 import pm_em_table
-
-    spec = fig03_04_spec(
-        scale=scale, seed=seed, max_noc=max_noc, num_sources=num_sources
+def reduce_fig03_04(
+    spec: CampaignSpec, store: ResultStore, *, scale: float = 1.0
+) -> ExperimentResult:
+    """Figs 3+4 from stored cells (matches ``legacy.run_fig03_04``)."""
+    by_label = labeled_metrics(spec, store)
+    noc_values = sorted(
+        {_case_noc(c.label) for c in spec.cases if c.label.startswith("PM")}
     )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
-    noc_values = list(range(1, max_noc + 1))
     sweeps: Dict[str, List[tuple]] = {}
     for method in ("PM", "EM"):
         sweeps[method] = [
@@ -226,43 +231,24 @@ def run_fig03_04_campaign(
             for k in noc_values
             for m in [by_label[f"{method} NoC={k}"]]
         ]
-    result = pm_em_table(noc_values, sweeps["PM"], sweeps["EM"], scale=scale)
-    return _as_campaign(result, report)
+    return pm_em_table(noc_values, sweeps["PM"], sweeps["EM"], scale=scale)
 
 
-def run_fig03_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    max_noc: int = 9,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 3 alone through the campaign engine."""
-    res = run_fig03_04_campaign(
-        scale=scale, seed=seed, max_noc=max_noc, num_sources=num_sources,
-        store=store, n_workers=n_workers,
-    )
-    res.exp_id = "fig03_campaign"
+def reduce_fig03(
+    spec: CampaignSpec, store: ResultStore, *, scale: float = 1.0
+) -> ExperimentResult:
+    """Fig 3 alone (a relabeled view of the joint reduction)."""
+    res = reduce_fig03_04(spec, store, scale=scale)
+    res.exp_id = "fig03"
     return res
 
 
-def run_fig04_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    max_noc: int = 5,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
+def reduce_fig04(
+    spec: CampaignSpec, store: ResultStore, *, scale: float = 1.0
+) -> ExperimentResult:
     """Fig 4 alone (NoC=1..5, a cache-shared prefix of Fig 3's cells)."""
-    res = run_fig03_04_campaign(
-        scale=scale, seed=seed, max_noc=max_noc, num_sources=num_sources,
-        store=store, n_workers=n_workers,
-    )
-    res.exp_id = "fig04_campaign"
+    res = reduce_fig03_04(spec, store, scale=scale)
+    res.exp_id = "fig04"
     return res
 
 
@@ -310,11 +296,9 @@ def _distribution_reduce(
     title: str,
     notes: List[str],
     plot_key: Optional[str],
-) -> "ExperimentResult":
+) -> ExperimentResult:
     """Shared Figs 5-9 reducer: stored cells → bins × sweep-values table."""
-    from repro.experiments.exp_fig05_09 import distribution_table
-
-    by_label = _labeled(spec, store)
+    by_label = labeled_metrics(spec, store)
     columns = {
         label: np.asarray(m["distribution"], dtype=np.int64)
         for label, m in by_label.items()
@@ -330,23 +314,20 @@ def _distribution_reduce(
     )
 
 
-def run_fig05_campaign(
+def reduce_fig05(
+    spec: CampaignSpec,
+    store: ResultStore,
     *,
-    scale: float = 1.0,
-    seed: int = 0,
-    r: int = 16,
-    noc: int = 10,
     radii: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 5 through the campaign engine (matches ``run_fig05``)."""
-    n = scaled(500, scale, minimum=80)
-    spec = fig05_spec(
-        scale=scale, seed=seed, r=r, noc=noc, radii=radii, num_sources=num_sources
-    )
-    store, report = _execute(spec, store, n_workers)
+) -> ExperimentResult:
+    """Fig 5 from stored cells (matches ``legacy.run_fig05``).
+
+    ``radii`` is only needed to note the swept-but-unrunnable radii —
+    the spec carries no trace of cases it refused to build.
+    """
+    n = spec.topologies[0].num_nodes
+    r = int(spec.base_params["r"])
+    noc = int(spec.base_params["noc"])
     skipped = [R for R in radii if 2 * R > r]
     notes = [
         "paper: distribution shifts right as R grows, then collapses once "
@@ -356,7 +337,7 @@ def run_fig05_campaign(
     if skipped:
         notes.append(f"radii {skipped} violate r>=2R and are not runnable")
     labels = [c.label for c in spec.cases]
-    result = _distribution_reduce(
+    return _distribution_reduce(
         spec,
         store,
         exp_id="fig05",
@@ -364,7 +345,6 @@ def run_fig05_campaign(
         notes=notes,
         plot_key=labels[-1] if labels else None,
     )
-    return _as_campaign(result, report)
 
 
 def fig06_spec(
@@ -397,24 +377,12 @@ def fig06_spec(
     )
 
 
-def run_fig06_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    R: int = 3,
-    noc: int = 10,
-    deltas: Sequence[int] = (0, 2, 4, 6, 8, 10, 12),
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 6 through the campaign engine (matches ``run_fig06``)."""
-    n = scaled(500, scale, minimum=80)
-    spec = fig06_spec(
-        scale=scale, seed=seed, R=R, noc=noc, deltas=deltas, num_sources=num_sources
-    )
-    store, report = _execute(spec, store, n_workers)
-    result = _distribution_reduce(
+def reduce_fig06(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """Fig 6 from stored cells (matches ``legacy.run_fig06``)."""
+    n = spec.topologies[0].num_nodes
+    R = int(spec.base_params["R"])
+    noc = int(spec.base_params["noc"])
+    return _distribution_reduce(
         spec,
         store,
         exp_id="fig06",
@@ -426,7 +394,6 @@ def run_fig06_campaign(
         ],
         plot_key=spec.cases[-1].label,
     )
-    return _as_campaign(result, report)
 
 
 def fig08_spec(
@@ -443,7 +410,7 @@ def fig08_spec(
 
     Depth-D reachability follows contacts of contacts, so every cell
     bootstraps *all* nodes (``full_selection``) and ``num_sources`` only
-    bounds the measured sample — exactly the legacy runner's regime.
+    bounds the measured sample — exactly the legacy oracle's regime.
     """
     n = scaled(500, scale, minimum=80)
     cases = tuple(
@@ -462,26 +429,14 @@ def fig08_spec(
     )
 
 
-def run_fig08_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    R: int = 3,
-    r: int = 10,
-    noc: int = 10,
-    depths: Sequence[int] = (1, 2, 3),
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 8 through the campaign engine (matches ``run_fig08``)."""
-    n = scaled(500, scale, minimum=80)
-    spec = fig08_spec(
-        scale=scale, seed=seed, R=R, r=r, noc=noc, depths=depths,
-        num_sources=num_sources,
-    )
-    store, report = _execute(spec, store, n_workers)
-    result = _distribution_reduce(
+def reduce_fig08(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """Fig 8 from stored cells (matches ``legacy.run_fig08``)."""
+    n = spec.topologies[0].num_nodes
+    R = int(spec.base_params["R"])
+    r = int(spec.base_params["r"])
+    noc = int(spec.base_params["noc"])
+    depths = [int(c.label.rsplit("=", 1)[1]) for c in spec.cases]
+    return _distribution_reduce(
         spec,
         store,
         exp_id="fig08",
@@ -493,7 +448,6 @@ def run_fig08_campaign(
         ],
         plot_key=f"D={max(depths)}",
     )
-    return _as_campaign(result, report)
 
 
 # ----------------------------------------------------------------------
@@ -545,18 +499,9 @@ def fig09_spec(
     )
 
 
-def run_fig09_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 9 through the campaign engine (matches ``run_fig09``)."""
-    spec = fig09_spec(scale=scale, seed=seed, num_sources=num_sources)
-    store, report = _execute(spec, store, n_workers)
-    result = _distribution_reduce(
+def reduce_fig09(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """Fig 9 from stored cells (matches ``legacy.run_fig09``)."""
+    return _distribution_reduce(
         spec,
         store,
         exp_id="fig09",
@@ -569,7 +514,6 @@ def run_fig09_campaign(
         ],
         plot_key=f"N={FIG9_CONFIGS[-1].num_nodes}",
     )
-    return _as_campaign(result, report)
 
 
 # ----------------------------------------------------------------------
@@ -599,48 +543,30 @@ def fig07_spec(
     )
 
 
-def run_fig07_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    R: int = 3,
-    r: int = 10,
-    noc_values: Sequence[int] = (0, 2, 4, 6, 8, 10, 12),
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 7 through the campaign engine (matches ``run_fig07``'s numbers)."""
-    from repro.experiments.exp_fig05_09 import distribution_table
-
-    spec = fig07_spec(
-        scale=scale,
-        seed=seed,
-        R=R,
-        r=r,
-        noc_values=noc_values,
-        num_sources=num_sources,
-    )
-    store, report = _execute(spec, store, n_workers)
+def reduce_fig07(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """Fig 7 from stored cells (matches ``legacy.run_fig07``'s numbers)."""
+    require_single_seed(spec)
+    n = spec.topologies[0].num_nodes
+    R = int(spec.base_params["R"])
+    r = int(spec.base_params["r"])
+    noc_values = [int(v) for v in spec.grid["noc"]]
     columns = {}
     means = {}
-    n = spec.topologies[0].num_nodes
     for cell in spec.expand():
-        metrics = store.metrics(cell.key())
         label = f"NoC={cell.params['noc']}"
+        metrics = require_metrics(store, cell, what=label, spec_name=spec.name)
         columns[label] = np.asarray(metrics["distribution"], dtype=np.int64)
         means[label] = float(metrics["mean_reachability"])
     max_noc = max(noc_values)
     notes = [
         "paper: sharp initial rise, saturation beyond NoC≈6 — the achieved "
         "contact count is overlap-limited",
-        f"N={n}, R={R}, r={r}, D=1; one campaign cell per NoC value "
-        f"({report.executed} executed, {report.cached} cached)",
+        f"N={n}, R={R}, r={r}, D=1; one campaign cell per NoC value",
     ]
     return distribution_table(
         columns,
         means,
-        exp_id="fig07_campaign",
+        exp_id="fig07",
         title="Fig 7 — Effect of Number of Contacts (NoC) on Reachability",
         notes=notes,
         plot_key=f"NoC={max_noc}",
@@ -685,34 +611,14 @@ def fig10_spec(
     )
 
 
-def run_fig10_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    noc_values: Sequence[int] = (3, 4, 5, 7),
-    duration: float = 10.0,
-    R: int = 3,
-    r: int = 10,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 10 through the campaign engine (matches ``run_fig10``)."""
-    from repro.experiments.exp_fig10_13 import (
-        DEFAULT_PAUSE,
-        DEFAULT_SPEED,
-        series_table,
-    )
-
-    n = scaled(500, scale, minimum=80)
-    spec = fig10_spec(
-        scale=scale, seed=seed, noc_values=noc_values, duration=duration,
-        R=R, r=r, num_sources=num_sources,
-    )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
+def reduce_fig10(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """Fig 10 from stored cells (matches ``legacy.run_fig10``)."""
+    n = spec.cases[0].topology.num_nodes
+    R = int(spec.base_params["R"])
+    r = int(spec.base_params["r"])
+    by_label = labeled_metrics(spec, store)
     labels = [c.label for c in spec.cases]
-    result = series_table(
+    return series_table(
         by_label[labels[0]]["times"],
         {l: by_label[l]["overhead"] for l in labels},
         exp_id="fig10",
@@ -725,7 +631,6 @@ def run_fig10_campaign(
         ],
         raw={l: by_label[l] for l in labels},
     )
-    return _as_campaign(result, report)
 
 
 def fig11_spec(
@@ -796,10 +701,8 @@ def _fig11_12_reduce(
     title: str,
     ylabel: str,
     notes: List[str],
-) -> "ExperimentResult":
-    from repro.experiments.exp_fig10_13 import series_table
-
-    by_label = _labeled(spec, store)
+) -> ExperimentResult:
+    by_label = labeled_metrics(spec, store)
     labels = [c.label for c in spec.cases]
     return series_table(
         by_label[labels[0]]["times"],
@@ -812,26 +715,12 @@ def _fig11_12_reduce(
     )
 
 
-def run_fig11_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    r_values: Sequence[int] = (8, 9, 10, 12, 15),
-    duration: float = 10.0,
-    R: int = 3,
-    noc: int = 5,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 11 through the campaign engine (matches ``run_fig11``)."""
-    n = scaled(500, scale, minimum=80)
-    spec = fig11_spec(
-        scale=scale, seed=seed, r_values=r_values, duration=duration,
-        R=R, noc=noc, num_sources=num_sources,
-    )
-    store, report = _execute(spec, store, n_workers)
-    result = _fig11_12_reduce(
+def reduce_fig11(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """Fig 11 from stored cells (matches ``legacy.run_fig11``)."""
+    n = spec.cases[0].topology.num_nodes
+    R = int(spec.base_params["R"])
+    noc = int(spec.base_params["noc"])
+    return _fig11_12_reduce(
         spec,
         store,
         series_name="overhead",
@@ -844,29 +733,14 @@ def run_fig11_campaign(
             f"N={n}, R={R}, NoC={noc}, D=1",
         ],
     )
-    return _as_campaign(result, report)
 
 
-def run_fig12_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    r_values: Sequence[int] = (8, 9, 10, 12, 15),
-    duration: float = 10.0,
-    R: int = 3,
-    noc: int = 5,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 12 through the campaign engine (matches ``run_fig12``)."""
-    n = scaled(500, scale, minimum=80)
-    spec = fig12_spec(
-        scale=scale, seed=seed, r_values=r_values, duration=duration,
-        R=R, noc=noc, num_sources=num_sources,
-    )
-    store, report = _execute(spec, store, n_workers)
-    result = _fig11_12_reduce(
+def reduce_fig12(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """Fig 12 from stored cells (matches ``legacy.run_fig12``)."""
+    n = spec.cases[0].topology.num_nodes
+    R = int(spec.base_params["R"])
+    noc = int(spec.base_params["noc"])
+    return _fig11_12_reduce(
         spec,
         store,
         series_name="backtracking",
@@ -879,7 +753,6 @@ def run_fig12_campaign(
             f"N={n}, R={R}, NoC={noc}, D=1",
         ],
     )
-    return _as_campaign(result, report)
 
 
 def fig13_spec(
@@ -890,12 +763,6 @@ def fig13_spec(
     num_sources: Optional[int] = None,
 ) -> CampaignSpec:
     """Fig 13 as a campaign: one long time-series stability cell."""
-    from repro.experiments.exp_fig10_13 import (
-        DEFAULT_PAUSE,
-        FIG13_SPEED,
-        fig13_hop_params,
-    )
-
     n = scaled(250, scale, minimum=60)
     R, r = fig13_hop_params(n)
     return CampaignSpec(
@@ -917,26 +784,13 @@ def fig13_spec(
     )
 
 
-def run_fig13_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    duration: float = 20.0,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 13 through the campaign engine (matches ``run_fig13``)."""
-    from repro.experiments.exp_fig10_13 import fig13_hop_params, fig13_table
-
-    n = scaled(250, scale, minimum=60)
-    R, r = fig13_hop_params(n)
-    spec = fig13_spec(
-        scale=scale, seed=seed, duration=duration, num_sources=num_sources
-    )
-    store, report = _execute(spec, store, n_workers)
-    metrics = _labeled(spec, store)["fig13"]
-    result = fig13_table(
+def reduce_fig13(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """Fig 13 from stored cells (matches ``legacy.run_fig13``)."""
+    n = spec.topologies[0].num_nodes
+    R = int(spec.base_params["R"])
+    r = int(spec.base_params["r"])
+    metrics = labeled_metrics(spec, store)["fig13"]
+    return fig13_table(
         metrics["times"],
         metrics["maintenance"],
         metrics["total_contacts"],
@@ -946,7 +800,6 @@ def run_fig13_campaign(
         r=r,
         raw={"series": metrics},
     )
-    return _as_campaign(result, report)
 
 
 # ----------------------------------------------------------------------
@@ -979,34 +832,23 @@ def fig14_spec(
     )
 
 
-def run_fig14_campaign(
+def reduce_fig14(
+    spec: CampaignSpec,
+    store: ResultStore,
     *,
-    scale: float = 1.0,
-    seed: int = 0,
-    R: int = 3,
-    r: int = 10,
-    max_noc: int = 10,
     validation_rounds: int = 5,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 14 through the campaign engine (matches ``run_fig14``).
+) -> ExperimentResult:
+    """Fig 14 from stored cells (matches ``legacy.run_fig14``).
 
     The maintenance weight (``validation_rounds`` cycles over each
     source's stored routes) is applied at reduce time from the stored
     per-source route hops, so one store serves any rounds setting.
     """
-    from repro.experiments.exp_fig14_15 import tradeoff_table
-
-    n = scaled(500, scale, minimum=80)
-    spec = fig14_spec(
-        scale=scale, seed=seed, R=R, r=r, max_noc=max_noc,
-        num_sources=num_sources,
-    )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
-    noc_values = list(range(0, max_noc + 1))
+    n = spec.topologies[0].num_nodes
+    R = int(spec.base_params["R"])
+    r = int(spec.base_params["r"])
+    by_label = labeled_metrics(spec, store)
+    noc_values = sorted(_case_noc(c.label) for c in spec.cases)
     reach: List[float] = []
     overhead: List[float] = []
     frac50: List[float] = []
@@ -1018,7 +860,7 @@ def run_fig14_campaign(
         overhead.append(fwd + back + float(np.mean(maint) if maint else 0.0))
         reach.append(float(m["mean_reachability"]))
         frac50.append(float(m["frac_ge50"]))
-    result = tradeoff_table(
+    return tradeoff_table(
         noc_values,
         reach,
         overhead,
@@ -1029,7 +871,6 @@ def run_fig14_campaign(
         validation_rounds=validation_rounds,
         raw={"noc": noc_values, "reach": reach, "overhead": overhead},
     )
-    return _as_campaign(result, report)
 
 
 # ----------------------------------------------------------------------
@@ -1071,44 +912,21 @@ def fig15_spec(
     )
 
 
-def run_fig15_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    num_queries: int = 50,
-    depth: int = 3,
-    num_sizes: Optional[Sequence[int]] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Fig 15 through the campaign engine (matches ``run_fig15``)."""
-    from repro.experiments.exp_fig14_15 import fig15_table
-
-    spec = fig15_spec(
-        scale=scale, seed=seed, num_queries=num_queries, depth=depth,
-        num_sizes=num_sizes,
-    )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
-    sizes = (
-        list(num_sizes)
-        if num_sizes is not None
-        else [c.num_nodes for c in FIG15_CONFIGS]
-    )
+def reduce_fig15(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """Fig 15 from stored cells (matches ``legacy.run_fig15``)."""
+    num_queries = int(spec.workload["num_queries"])
+    by_label = labeled_metrics(spec, store)
     rows: List[List[object]] = []
     raw: Dict[str, object] = {}
     series: Dict[str, List[float]] = {
         "Flooding": [], "Bordercasting": [], "CARD": [],
     }
     prefix_of = {"Flooding": "flood", "Bordercasting": "border", "CARD": "card"}
-    for cfg in FIG15_CONFIGS:
-        if cfg.num_nodes not in sizes:
-            continue
-        n = scaled(cfg.num_nodes, scale, minimum=60)
-        m = by_label[f"N={cfg.num_nodes}"]
+    for case in spec.cases:
+        m = by_label[case.label]
         rows.append(
             [
-                cfg.num_nodes if scale == 1.0 else n,
+                case.topology.num_nodes,
                 int(m["flood_msgs"]),
                 int(m["border_msgs"]),
                 int(m["card_msgs"]),
@@ -1123,9 +941,8 @@ def run_fig15_campaign(
         )
         for name in series:
             series[name].append(float(m[f"{prefix_of[name]}_events"]))
-        raw[f"N={cfg.num_nodes}"] = m
-    result = fig15_table(rows, series, num_queries=num_queries, raw=raw)
-    return _as_campaign(result, report)
+        raw[case.label] = m
+    return fig15_table(rows, series, num_queries=num_queries, raw=raw)
 
 
 # ----------------------------------------------------------------------
@@ -1157,29 +974,19 @@ def table1_spec(
     )
 
 
-def run_table1_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Table 1 through the campaign engine (matches ``run_table1``'s rows)."""
-    from repro.experiments.base import ExperimentResult
-    from repro.experiments.exp_table1 import (
-        TABLE1_HEADERS,
-        scenario_row,
-        table1_notes,
-    )
-
-    spec = table1_spec(scale=scale, seed=seed)
-    store, report = _execute(spec, store, n_workers)
+def reduce_table1(
+    spec: CampaignSpec, store: ResultStore, *, scale: float = 1.0
+) -> ExperimentResult:
+    """Table 1 from stored cells (matches ``legacy.run_table1``'s rows)."""
+    require_single_seed(spec)
     rows = []
     raw = {}
     by_scenario = {c.topology.scenario: c for c in spec.expand()}
     for sc in TABLE1_SCENARIOS:
         cell = by_scenario[sc.index]
-        metrics = store.metrics(cell.key())
+        metrics = require_metrics(
+            store, cell, what=f"scenario {sc.index}", spec_name=spec.name
+        )
         rows.append(
             scenario_row(
                 sc,
@@ -1192,14 +999,12 @@ def run_table1_campaign(
             )
         )
         raw[f"scenario{sc.index}"] = metrics
-    notes = table1_notes(scale)
-    notes.append(_campaign_note(report))
     return ExperimentResult(
-        exp_id="table1_campaign",
+        exp_id="table1",
         title="Table 1 — Scenario connectivity statistics (paper vs measured)",
         headers=TABLE1_HEADERS,
         rows=rows,
-        notes=notes,
+        notes=table1_notes(scale),
         raw=raw,
     )
 
@@ -1217,8 +1022,6 @@ def ablation_pm_eq_spec(
     num_sources: Optional[int] = None,
 ) -> CampaignSpec:
     """PM eq.(1)/eq.(2)/EM admission variants as campaign cells."""
-    from repro.experiments.exp_ablations import PM_EQ_VARIANTS
-
     n = scaled(500, scale, minimum=80)
     cases = tuple(
         CaseSpec(label=label, params=dict(overrides))
@@ -1236,26 +1039,13 @@ def ablation_pm_eq_spec(
     )
 
 
-def run_ablation_pm_eq_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    R: int = 3,
-    r: int = 20,
-    noc: int = 5,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """PM-equation ablation through the campaign engine."""
-    from repro.experiments.exp_ablations import PM_EQ_VARIANTS, pm_eq_row, pm_eq_table
-
-    n = scaled(500, scale, minimum=80)
-    spec = ablation_pm_eq_spec(
-        scale=scale, seed=seed, R=R, r=r, noc=noc, num_sources=num_sources
-    )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
+def reduce_ablation_pm_eq(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """PM-equation ablation from stored cells."""
+    n = spec.topologies[0].num_nodes
+    R = int(spec.base_params["R"])
+    r = int(spec.base_params["r"])
+    noc = int(spec.base_params["noc"])
+    by_label = labeled_metrics(spec, store)
     rows = []
     raw = {}
     for label, _ in PM_EQ_VARIANTS:
@@ -1271,8 +1061,7 @@ def run_ablation_pm_eq_campaign(
             )
         )
         raw[label] = m
-    result = pm_eq_table(rows, n=n, R=R, r=r, noc=noc, raw=raw)
-    return _as_campaign(result, report)
+    return pm_eq_table(rows, n=n, R=R, r=r, noc=noc, raw=raw)
 
 
 def ablation_overlap_spec(
@@ -1285,8 +1074,6 @@ def ablation_overlap_spec(
     num_sources: Optional[int] = None,
 ) -> CampaignSpec:
     """EM overlap-check ablation as campaign cells."""
-    from repro.experiments.exp_ablations import OVERLAP_VARIANTS
-
     n = scaled(500, scale, minimum=80)
     cases = tuple(
         CaseSpec(label=label, params={"method": "EM", **flags})
@@ -1304,30 +1091,15 @@ def ablation_overlap_spec(
     )
 
 
-def run_ablation_overlap_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    R: int = 3,
-    r: int = 12,
-    noc: int = 6,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Overlap-check ablation through the campaign engine."""
-    from repro.experiments.exp_ablations import (
-        OVERLAP_VARIANTS,
-        overlap_row,
-        overlap_table,
-    )
-
-    n = scaled(500, scale, minimum=80)
-    spec = ablation_overlap_spec(
-        scale=scale, seed=seed, R=R, r=r, noc=noc, num_sources=num_sources
-    )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
+def reduce_ablation_overlap(
+    spec: CampaignSpec, store: ResultStore
+) -> ExperimentResult:
+    """Overlap-check ablation from stored cells."""
+    n = spec.topologies[0].num_nodes
+    R = int(spec.base_params["R"])
+    r = int(spec.base_params["r"])
+    noc = int(spec.base_params["noc"])
+    by_label = labeled_metrics(spec, store)
     rows = []
     for label, _ in OVERLAP_VARIANTS:
         m = by_label[label]
@@ -1340,8 +1112,7 @@ def run_ablation_overlap_campaign(
                 float(m["backtrack_msgs_per_source"]),
             )
         )
-    result = overlap_table(rows, n=n, R=R, r=r, noc=noc)
-    return _as_campaign(result, report)
+    return overlap_table(rows, n=n, R=R, r=r, noc=noc)
 
 
 def ablation_recovery_spec(
@@ -1373,24 +1144,13 @@ def ablation_recovery_spec(
     )
 
 
-def run_ablation_recovery_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    duration: float = 10.0,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Recovery ablation through the campaign engine."""
-    from repro.experiments.exp_ablations import recovery_row, recovery_table
-
-    n = scaled(250, scale, minimum=60)
-    spec = ablation_recovery_spec(
-        scale=scale, seed=seed, duration=duration, num_sources=num_sources
-    )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
+def reduce_ablation_recovery(
+    spec: CampaignSpec, store: ResultStore
+) -> ExperimentResult:
+    """Recovery ablation from stored cells."""
+    n = spec.topologies[0].num_nodes
+    duration = float(spec.duration)
+    by_label = labeled_metrics(spec, store)
     rows = []
     for label in ("recovery ON", "recovery OFF"):
         m = by_label[label]
@@ -1405,8 +1165,7 @@ def run_ablation_recovery_campaign(
                 m["total_contacts"],
             )
         )
-    result = recovery_table(rows, n=n, duration=duration)
-    return _as_campaign(result, report)
+    return recovery_table(rows, n=n, duration=duration)
 
 
 #: labels of the query-scheme ablation, in legacy row order
@@ -1442,24 +1201,13 @@ def ablation_query_spec(
     )
 
 
-def run_ablation_query_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    num_queries: int = 40,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Query ablation through the campaign engine."""
-    from repro.experiments.exp_ablations import query_row, query_table
-
-    n = scaled(500, scale, minimum=80)
-    spec = ablation_query_spec(
-        scale=scale, seed=seed, num_queries=num_queries, num_sources=num_sources
-    )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
+def reduce_ablation_query(
+    spec: CampaignSpec, store: ResultStore
+) -> ExperimentResult:
+    """Query ablation from stored cells."""
+    n = spec.topologies[0].num_nodes
+    num_queries = int(spec.workload["num_queries"])
+    by_label = labeled_metrics(spec, store)
     rows = []
     for label, _ in _QUERY_CASES:
         m = by_label[label]
@@ -1471,8 +1219,7 @@ def run_ablation_query_campaign(
                 int(m["num_queries"]),
             )
         )
-    result = query_table(rows, n=n, num_queries=num_queries)
-    return _as_campaign(result, report)
+    return query_table(rows, n=n, num_queries=num_queries)
 
 
 def ablation_mobility_spec(
@@ -1483,8 +1230,6 @@ def ablation_mobility_spec(
     num_sources: Optional[int] = None,
 ) -> CampaignSpec:
     """Mobility-model ablation: one time-series cell per model."""
-    from repro.experiments.exp_ablations import ABLATION_MOBILITY_CONFIGS
-
     n = scaled(250, scale, minimum=60)
     cases = tuple(
         CaseSpec(label=label, mobility=MobilitySpec(**cfg))
@@ -1503,28 +1248,13 @@ def ablation_mobility_spec(
     )
 
 
-def run_ablation_mobility_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    duration: float = 10.0,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Mobility ablation through the campaign engine."""
-    from repro.experiments.exp_ablations import (
-        ABLATION_MOBILITY_CONFIGS,
-        mobility_row,
-        mobility_table,
-    )
-
-    n = scaled(250, scale, minimum=60)
-    spec = ablation_mobility_spec(
-        scale=scale, seed=seed, duration=duration, num_sources=num_sources
-    )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
+def reduce_ablation_mobility(
+    spec: CampaignSpec, store: ResultStore
+) -> ExperimentResult:
+    """Mobility ablation from stored cells."""
+    n = spec.topologies[0].num_nodes
+    duration = float(spec.duration)
+    by_label = labeled_metrics(spec, store)
     rows = []
     for label in ABLATION_MOBILITY_CONFIGS:
         m = by_label[label]
@@ -1537,8 +1267,7 @@ def run_ablation_mobility_campaign(
                 m["total_contacts"],
             )
         )
-    result = mobility_table(rows, n=n, duration=duration)
-    return _as_campaign(result, report)
+    return mobility_table(rows, n=n, duration=duration)
 
 
 def ablation_failures_spec(
@@ -1566,28 +1295,12 @@ def ablation_failures_spec(
     )
 
 
-def run_ablation_failures_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    R: int = 3,
-    r: int = 12,
-    noc: int = 5,
-    fail_fraction: float = 0.15,
-    num_queries: int = 40,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Failures ablation through the campaign engine."""
-    from repro.experiments.exp_extensions import failures_table
-
-    spec = ablation_failures_spec(
-        scale=scale, seed=seed, R=R, r=r, noc=noc,
-        fail_fraction=fail_fraction, num_queries=num_queries,
-    )
-    store, report = _execute(spec, store, n_workers)
-    m = _labeled(spec, store)["failures"]
+def reduce_ablation_failures(
+    spec: CampaignSpec, store: ResultStore
+) -> ExperimentResult:
+    """Failures ablation from stored cells."""
+    fail_fraction = float(spec.workload.get("fail_fraction", 0.15))
+    m = labeled_metrics(spec, store)["failures"]
     rows = [
         ["before crash", int(m["ok_before"]), int(m["msgs_before"]), 0,
          int(m["contacts_before"])],
@@ -1596,7 +1309,7 @@ def run_ablation_failures_campaign(
         ["after repair", int(m["ok_repaired"]), int(m["msgs_repaired"]),
          int(m["repair_msgs"]), int(m["contacts_repaired"])],
     ]
-    result = failures_table(
+    return failures_table(
         rows,
         n=int(m["num_nodes"]),
         fail_fraction=fail_fraction,
@@ -1608,7 +1321,6 @@ def run_ablation_failures_campaign(
             "repaired": (int(m["ok_repaired"]), int(m["msgs_repaired"])),
         },
     )
-    return _as_campaign(result, report)
 
 
 def ablation_edge_policy_spec(
@@ -1640,27 +1352,17 @@ def ablation_edge_policy_spec(
     )
 
 
-def run_ablation_edge_policy_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    R: int = 3,
-    r: int = 12,
-    noc: int = 6,
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Edge-policy ablation through the campaign engine."""
+def reduce_ablation_edge_policy(
+    spec: CampaignSpec, store: ResultStore
+) -> ExperimentResult:
+    """Edge-policy ablation from stored cells."""
     from repro.core.edge_policy import EdgePolicy
-    from repro.experiments.exp_extensions import edge_policy_row, edge_policy_table
 
-    n = scaled(500, scale, minimum=80)
-    spec = ablation_edge_policy_spec(
-        scale=scale, seed=seed, R=R, r=r, noc=noc, num_sources=num_sources
-    )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
+    n = spec.topologies[0].num_nodes
+    R = int(spec.base_params["R"])
+    r = int(spec.base_params["r"])
+    noc = int(spec.base_params["noc"])
+    by_label = labeled_metrics(spec, store)
     rows = []
     raw = {}
     for policy in EdgePolicy:
@@ -1675,8 +1377,7 @@ def run_ablation_edge_policy_campaign(
             )
         )
         raw[policy.value] = m
-    result = edge_policy_table(rows, n=n, R=R, r=r, noc=noc, raw=raw)
-    return _as_campaign(result, report)
+    return edge_policy_table(rows, n=n, R=R, r=r, noc=noc, raw=raw)
 
 
 def smallworld_spec(
@@ -1706,27 +1407,13 @@ def smallworld_spec(
     )
 
 
-def run_smallworld_campaign(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    R: int = 3,
-    r: int = 12,
-    noc_values: Sequence[int] = (0, 1, 2, 4, 6),
-    num_sources: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    n_workers: int = 1,
-) -> "ExperimentResult":
-    """Small-world extension through the campaign engine."""
-    from repro.experiments.exp_extensions import smallworld_row, smallworld_table
-
-    n = scaled(500, scale, minimum=80)
-    spec = smallworld_spec(
-        scale=scale, seed=seed, R=R, r=r, noc_values=noc_values,
-        num_sources=num_sources,
-    )
-    store, report = _execute(spec, store, n_workers)
-    by_label = _labeled(spec, store)
+def reduce_smallworld(spec: CampaignSpec, store: ResultStore) -> ExperimentResult:
+    """Small-world extension from stored cells."""
+    n = spec.topologies[0].num_nodes
+    R = int(spec.base_params["R"])
+    r = int(spec.base_params["r"])
+    by_label = labeled_metrics(spec, store)
+    noc_values = [_case_noc(c.label) for c in spec.cases]
     rows = []
     raw = {}
     for k in noc_values:
@@ -1743,63 +1430,114 @@ def run_smallworld_campaign(
             )
         )
         raw[int(k)] = m
-    result = smallworld_table(rows, n=n, R=R, r=r, raw=raw)
-    return _as_campaign(result, report)
+    return smallworld_table(rows, n=n, R=R, r=r, raw=raw)
 
 
 # ----------------------------------------------------------------------
-# registry — one port per legacy experiment id
+# mobility_rate — overhead vs mobility rate (campaign-native; no oracle)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class FigurePort:
-    """A legacy experiment's campaign twin: spec builder + reducer-runner."""
-
-    exp_id: str
-    build_spec: Callable[..., CampaignSpec]
-    run: Callable[..., "ExperimentResult"]
+#: RWP max-speed sweep (m/s) for the mobility-rate artifact: pedestrian
+#: through vehicular, min speed fixed so only the rate varies.
+MOBILITY_RATE_SPEEDS = (1.0, 3.0, 6.0, 10.0)
 
 
-CAMPAIGN_FIGURES: Dict[str, FigurePort] = {
-    port.exp_id: port
-    for port in (
-        FigurePort("table1", table1_spec, run_table1_campaign),
-        FigurePort("fig03", fig03_04_spec, run_fig03_campaign),
-        FigurePort("fig04", fig03_04_spec, run_fig04_campaign),
-        FigurePort("fig03_04", fig03_04_spec, run_fig03_04_campaign),
-        FigurePort("fig05", fig05_spec, run_fig05_campaign),
-        FigurePort("fig06", fig06_spec, run_fig06_campaign),
-        FigurePort("fig07", fig07_spec, run_fig07_campaign),
-        FigurePort("fig08", fig08_spec, run_fig08_campaign),
-        FigurePort("fig09", fig09_spec, run_fig09_campaign),
-        FigurePort("fig10", fig10_spec, run_fig10_campaign),
-        FigurePort("fig11", fig11_spec, run_fig11_campaign),
-        FigurePort("fig12", fig12_spec, run_fig12_campaign),
-        FigurePort("fig13", fig13_spec, run_fig13_campaign),
-        FigurePort("fig14", fig14_spec, run_fig14_campaign),
-        FigurePort("fig15", fig15_spec, run_fig15_campaign),
-        FigurePort("ablation_pm_eq", ablation_pm_eq_spec, run_ablation_pm_eq_campaign),
-        FigurePort("ablation_overlap", ablation_overlap_spec, run_ablation_overlap_campaign),
-        FigurePort("ablation_recovery", ablation_recovery_spec, run_ablation_recovery_campaign),
-        FigurePort("ablation_query", ablation_query_spec, run_ablation_query_campaign),
-        FigurePort("ablation_mobility", ablation_mobility_spec, run_ablation_mobility_campaign),
-        FigurePort("ablation_failures", ablation_failures_spec, run_ablation_failures_campaign),
-        FigurePort("ablation_edge_policy", ablation_edge_policy_spec, run_ablation_edge_policy_campaign),
-        FigurePort("smallworld", smallworld_spec, run_smallworld_campaign),
+def mobility_rate_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    duration: float = 10.0,
+    max_speeds: Sequence[float] = MOBILITY_RATE_SPEEDS,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Overhead vs mobility rate: one time-series cell per RWP speed band.
+
+    Sweeps :class:`MobilitySpec` max speed as labeled cases over the
+    ``churn`` metric family (``link_churn`` + ``substrate_stats`` are
+    stored per cell), alongside ``series``/``contacts`` for the overhead
+    and contact-loss columns.  This artifact is campaign-native: it has
+    no legacy oracle and exists only through the artifact API.
+    """
+    n = scaled(250, scale, minimum=60)
+    cases = tuple(
+        CaseSpec(
+            label=f"v<={float(v):g}",
+            mobility=MobilitySpec(
+                model="rwp", min_speed=0.5, max_speed=float(v), pause=2.0
+            ),
+        )
+        for v in max_speeds
     )
-}
+    return CampaignSpec(
+        name="mobility_rate",
+        description="Extension — overhead vs mobility rate (RWP speed sweep)",
+        topologies=(TopologySpec(kind="standard", num_nodes=n, salt="mobrate"),),
+        base_params={"R": 3, "r": 12, "noc": 5},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("series", "contacts", "churn"),
+        num_sources=num_sources,
+        duration=duration,
+    )
 
 
-def campaign_figure_ids() -> List[str]:
-    """Legacy experiment ids that have a campaign port."""
-    return sorted(CAMPAIGN_FIGURES)
+def reduce_mobility_rate(
+    spec: CampaignSpec, store: ResultStore
+) -> ExperimentResult:
+    """Overhead-vs-mobility-rate table from stored cells."""
+    n = spec.topologies[0].num_nodes
+    duration = float(spec.duration)
+    by_label = labeled_metrics(spec, store)
+    rows: List[List[object]] = []
+    raw: Dict[str, object] = {}
+    churn_by: Dict[str, float] = {}
+    ovh_by: Dict[str, float] = {}
+    for case in spec.cases:
+        m = by_label[case.label]
+        stats = m["substrate_stats"]
+        churn_by[case.label] = float(m["mean_link_churn"])
+        ovh_by[case.label] = float(m["mean_overhead"])
+        rows.append(
+            [
+                case.label,
+                round(float(m["mean_link_churn"]), 2),
+                round(float(m["mean_overhead"]), 2),
+                round(float(m["mean_maintenance"]), 2),
+                int(m["total_lost"]),
+                int(stats["incremental_updates"]),
+                int(stats["full_rebuilds"]),
+            ]
+        )
+        raw[case.label] = m
+    return mobility_rate_table(
+        rows, churn_by, ovh_by, n=n, duration=duration, raw=raw
+    )
 
 
-def get_figure_port(exp_id: str) -> FigurePort:
-    """Look a port up by legacy id, with a helpful error."""
-    try:
-        return CAMPAIGN_FIGURES[exp_id]
-    except KeyError:
-        known = ", ".join(campaign_figure_ids())
-        raise ValueError(
-            f"no campaign port for experiment {exp_id!r}; known: {known}"
-        ) from None
+# ----------------------------------------------------------------------
+# moved registry — lazy backward-compat aliases
+# ----------------------------------------------------------------------
+def __getattr__(name):
+    """Resolve the pre-redesign registry surface against the new one.
+
+    ``CAMPAIGN_FIGURES`` / ``FigurePort`` / ``get_figure_port`` /
+    ``campaign_figure_ids`` and the ``run_<id>_campaign`` callables moved
+    to :mod:`repro.artifacts.registry` (the single artifact registry);
+    they stay importable from here so pre-flip campaign scripts keep
+    running.  The import happens lazily because the registry imports
+    this module.
+    """
+    import repro.artifacts.registry as registry
+
+    if name == "CAMPAIGN_FIGURES":
+        return registry.ARTIFACTS
+    if name == "FigurePort":
+        return registry.Artifact
+    if name == "get_figure_port":
+        return registry.get_artifact
+    if name == "campaign_figure_ids":
+        return registry.artifact_ids
+    if name.startswith("run_") and name.endswith("_campaign"):
+        artifact_id = name[len("run_"):-len("_campaign")]
+        if artifact_id in registry.ARTIFACTS:
+            return registry.ARTIFACTS[artifact_id].run
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

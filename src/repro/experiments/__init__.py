@@ -1,16 +1,21 @@
-"""Experiment harness: one module per paper table/figure, plus ablations.
+"""Experiment harness: campaign-first artifact regeneration by id.
 
-Every experiment is a function returning an
-:class:`~repro.experiments.base.ExperimentResult` (headers + rows + an
-ASCII rendering of the figure's shape).  The registry maps experiment ids
-(``table1``, ``fig03`` ... ``fig15``, ``ablation_*``) to these functions;
-``python -m repro.experiments <id>`` runs one from the command line, and
-each ``benchmarks/bench_<id>.py`` wraps the same function in
-pytest-benchmark at a reduced scale.
+Every experiment id resolves to an :class:`~repro.artifacts.registry.Artifact`
+run through the :mod:`repro.campaign` engine — declarative spec →
+content-hash-cached cells → reducer — and returns an
+:class:`~repro.artifacts.result.ExperimentResult` (headers + rows + an
+ASCII rendering of the figure's shape).  ``python -m repro.experiments
+<id>`` runs one from the command line; prefer the stable
+:mod:`repro.api` facade when scripting.
 
 All experiments accept a ``scale`` argument in ``(0, 1]``: 1.0 reproduces
 the paper's parameters; smaller values shrink network size and/or the
 measured source sample proportionally (used by CI and the benchmarks).
+Passing ``store=``/``n_workers=`` reuses a warm JSONL result store and
+fans cells out over a process pool.
+
+The pre-flip per-figure loops survive in
+:mod:`repro.experiments.legacy` solely as ``pytest -m parity`` oracles.
 """
 
 from repro.experiments.base import ExperimentResult, standard_topology

@@ -1,10 +1,15 @@
 """Command-line entry point: ``python -m repro.experiments <id> [options]``.
 
+Execution is campaign-first: every id routes through the campaign
+engine, so ``--store`` turns re-runs into cache hits (cells are keyed by
+content hash — stores written before the flip stay warm) and
+``--workers`` fans independent cells out over a process pool.
+
 Examples
 --------
-Run one figure at paper scale::
+Run one figure at paper scale, on 4 workers, against a warm store::
 
-    python -m repro.experiments fig07
+    python -m repro.experiments fig07 --workers 4 --store results.jsonl
 
 Run everything quickly (CI smoke)::
 
@@ -18,21 +23,35 @@ List available experiment ids::
 from __future__ import annotations
 
 import argparse
-import inspect
+import os
 import sys
 import time
+from pathlib import Path
 
+from repro.artifacts.registry import ARTIFACTS
+from repro.campaign.store import ResultStore
 from repro.experiments.registry import (
     DERIVED_EXPERIMENTS,
     EXPERIMENTS,
     get_experiment,
 )
 
+#: what the CLI lists and "all" iterates: the artifact registry's
+#: primary ids, in registration order (EXPERIMENTS additionally carries
+#: the pre-flip `<id>_campaign` aliases, which stay runnable by name)
+PRIMARY_IDS = list(ARTIFACTS)
+
+
+def _unknown_id_message(exp_id: str) -> str:
+    ids = "\n".join(f"  {i}" for i in PRIMARY_IDS)
+    return f"error: unknown experiment {exp_id!r}; valid ids:\n{ids}"
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Reproduce CARD paper tables/figures as text.",
+        description="Reproduce CARD paper tables/figures as text "
+        "(campaign-first: cached, parallel, resumable).",
     )
     parser.add_argument(
         "exp_id",
@@ -49,30 +68,62 @@ def main(argv=None) -> int:
         help="measure a random sample of this many source nodes (default all)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds (time-series artifacts only)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="campaign process-pool width"
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="shared JSONL result store (re-runs become cache hits)",
+    )
     args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except BrokenPipeError:
+        # the reader (e.g. `--list | head`) closed the pipe; park stdout
+        # on devnull so interpreter shutdown doesn't re-raise
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
+
+def _run(args) -> int:
     if args.list or not args.exp_id:
-        for exp_id in EXPERIMENTS:
+        for exp_id in PRIMARY_IDS:
             print(exp_id)
         return 0
 
     if args.exp_id == "all":
         # derived experiments re-derive another artifact; produce each once
-        ids = [i for i in EXPERIMENTS if i not in DERIVED_EXPERIMENTS]
+        ids = [i for i in PRIMARY_IDS if i not in DERIVED_EXPERIMENTS]
     else:
+        if args.exp_id not in EXPERIMENTS:
+            print(_unknown_id_message(args.exp_id), file=sys.stderr)
+            return 1
         ids = [args.exp_id]
+    store = ResultStore(Path(args.store)) if args.store else None
     for exp_id in ids:
         fn = get_experiment(exp_id)
         kwargs = {"scale": args.scale, "seed": args.seed}
         if args.sources is not None:
             kwargs["num_sources"] = args.sources
-        accepted = inspect.signature(fn).parameters
-        kwargs = {k: v for k, v in kwargs.items() if k in accepted}
+        if args.duration is not None:
+            kwargs["duration"] = args.duration
+        if store is not None:
+            kwargs["store"] = store
+        kwargs["n_workers"] = args.workers
         t0 = time.time()
         result = fn(**kwargs)
         dt = time.time() - t0
         print(result.render())
         print(f"[{exp_id} finished in {dt:.1f}s]\n")
+    if store is not None:
+        print(f"store: {store.path} ({len(store)} records)")
     return 0
 
 

@@ -1,21 +1,28 @@
-"""Shared experiment plumbing: result type, standard topology, scaling.
+"""Compatibility shim for the pre-campaign-first experiment harness.
 
-The topology/scaling helpers (:func:`standard_topology`, :func:`scaled`,
-:func:`sample_sources`) live in :mod:`repro.scenarios.factory` so lower
-layers — notably :mod:`repro.campaign`, which expands declarative specs
-into cells without touching the figure runners — can use them without
-importing the experiment harness.  They are re-exported here because every
-``exp_*`` module (and external code) historically imports them from
-``repro.experiments.base``.
+.. deprecated::
+    This module is kept only so historical imports keep resolving.  The
+    pieces it re-exports moved down the stack when the registry flipped
+    to campaign-first execution:
+
+    * :class:`ExperimentResult` lives in :mod:`repro.artifacts.result`;
+    * :func:`standard_topology` / :func:`scaled` / :func:`sample_sources`
+      live in :mod:`repro.scenarios.factory`;
+    * the per-figure runner loops that used to sit beside this module
+      (``exp_fig*``, ``exp_ablations``, …) are now parity oracles in
+      :mod:`repro.experiments.legacy` and emit a ``DeprecationWarning``
+      when invoked.
+
+    New code should script against :mod:`repro.api` (``list_artifacts`` /
+    ``describe`` / ``run``) or the :data:`repro.artifacts.registry.ARTIFACTS`
+    registry directly; importing from here will eventually stop working
+    once external consumers have migrated.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
-
+from repro.artifacts.result import ExperimentResult
 from repro.scenarios.factory import sample_sources, scaled, standard_topology
-from repro.util.tables import format_table
 
 __all__ = [
     "ExperimentResult",
@@ -23,39 +30,3 @@ __all__ = [
     "scaled",
     "sample_sources",
 ]
-
-
-@dataclass
-class ExperimentResult:
-    """A reproduced table/figure, renderable as text.
-
-    Attributes
-    ----------
-    exp_id, title:
-        Identity ("fig07", "Fig 7 — Effect of NoC on Reachability").
-    headers, rows:
-        The tabular data that regenerates the artifact.
-    notes:
-        Substitutions, scale factors, interpretation reminders.
-    plots:
-        Pre-rendered ASCII figures appended after the table.
-    raw:
-        Machine-readable extras for tests/benchmarks (series arrays etc.).
-    """
-
-    exp_id: str
-    title: str
-    headers: List[str]
-    rows: List[List[object]]
-    notes: List[str] = field(default_factory=list)
-    plots: List[str] = field(default_factory=list)
-    raw: Dict[str, object] = field(default_factory=dict)
-
-    def render(self) -> str:
-        parts = [
-            format_table(self.headers, self.rows, title=f"== {self.title} =="),
-        ]
-        parts.extend(self.plots)
-        if self.notes:
-            parts.append("\n".join(f"note: {n}" for n in self.notes))
-        return "\n\n".join(parts)

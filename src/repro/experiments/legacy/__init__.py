@@ -1,0 +1,116 @@
+"""The legacy per-figure loops, kept **only** as parity oracles.
+
+Every artifact here has a campaign-native twin (spec + reducer in
+:mod:`repro.campaign.figures`, registered in
+:mod:`repro.artifacts.registry`) that produces the identical table
+through the cached/parallel/resumable engine — and that twin is what
+``repro.api``, ``python -m repro.experiments`` and ``card-repro`` run.
+These inline loops survive solely so the ``pytest -m parity`` matrix can
+hold the campaign path bit-for-bit equal to an independent
+implementation; they re-simulate from scratch on every call (no cache,
+no parallelism, no resume) and will be deleted once the oracles have
+outlived their usefulness.
+
+Calling any runner exported here emits a :class:`DeprecationWarning`
+pointing at :func:`repro.api.run`.  New code must not import this
+package — the facade's import-layering test enforces that
+``repro.api`` never does.
+
+:data:`LEGACY_EXPERIMENTS` maps artifact id → oracle runner, mirroring
+the ids in :data:`repro.artifacts.registry.ARTIFACTS` that have an
+oracle (the new campaign-native artifacts, e.g. ``mobility_rate``, have
+none).
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, Dict
+
+
+def deprecated_oracle(fn: Callable) -> Callable:
+    """Wrap a legacy runner so direct invocation warns.
+
+    The parity matrix calls oracles on purpose (and tolerates the
+    warning); anything else should be going through ``repro.api.run`` /
+    the experiment registry, which route through the campaign engine.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"repro.experiments.legacy.{fn.__name__} is a parity oracle "
+            "kept for the `pytest -m parity` matrix; use repro.api.run() "
+            "(campaign-first: cached, parallel, resumable) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+from repro.experiments.legacy.exp_ablations import (  # noqa: E402
+    run_ablation_mobility,
+    run_ablation_overlap,
+    run_ablation_pm_eq,
+    run_ablation_query,
+    run_ablation_recovery,
+)
+from repro.experiments.legacy.exp_extensions import (  # noqa: E402
+    run_ablation_edge_policy,
+    run_ablation_failures,
+    run_smallworld,
+)
+from repro.experiments.legacy.exp_fig03_04 import (  # noqa: E402
+    run_fig03,
+    run_fig03_04,
+    run_fig04,
+)
+from repro.experiments.legacy.exp_fig05_09 import (  # noqa: E402
+    run_fig05,
+    run_fig06,
+    run_fig07,
+    run_fig08,
+    run_fig09,
+)
+from repro.experiments.legacy.exp_fig10_13 import (  # noqa: E402
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+)
+from repro.experiments.legacy.exp_fig14_15 import run_fig14, run_fig15  # noqa: E402
+from repro.experiments.legacy.exp_table1 import run_table1  # noqa: E402
+
+#: artifact id → legacy oracle runner (the parity matrix's ground truth)
+LEGACY_EXPERIMENTS: Dict[str, Callable] = {
+    "table1": run_table1,
+    "fig03": run_fig03,
+    "fig04": run_fig04,
+    "fig03_04": run_fig03_04,
+    "fig05": run_fig05,
+    "fig06": run_fig06,
+    "fig07": run_fig07,
+    "fig08": run_fig08,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "ablation_pm_eq": run_ablation_pm_eq,
+    "ablation_overlap": run_ablation_overlap,
+    "ablation_recovery": run_ablation_recovery,
+    "ablation_query": run_ablation_query,
+    "ablation_mobility": run_ablation_mobility,
+    "ablation_failures": run_ablation_failures,
+    "ablation_edge_policy": run_ablation_edge_policy,
+    "smallworld": run_smallworld,
+}
+
+__all__ = ["LEGACY_EXPERIMENTS", "deprecated_oracle"] + [
+    fn.__name__ for fn in LEGACY_EXPERIMENTS.values()
+]

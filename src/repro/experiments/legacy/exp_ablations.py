@@ -1,4 +1,4 @@
-"""Ablation experiments for the design choices DESIGN.md calls out.
+"""Ablation legacy oracles for the design choices DESIGN.md calls out.
 
 These go beyond the paper's own figures and probe *why* CARD's pieces are
 shaped the way they are:
@@ -14,30 +14,49 @@ shaped the way they are:
   and the effect of query dedup;
 * ``ablation_mobility`` — RWP vs random-walk vs Gauss-Markov: contact
   stability (the paper's footnote conjectures model sensitivity).
+
+Kept only as ``pytest -m parity`` ground truth; use
+:func:`repro.api.run` to regenerate these artifacts campaign-first.
+The variant/config tables live in :mod:`repro.artifacts.tables`, shared
+with the campaign specs so both paths sweep identical configurations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-import numpy as np
-
+from repro.artifacts.result import ExperimentResult
+from repro.artifacts.tables import (
+    ABLATION_MOBILITY_CONFIGS,
+    OVERLAP_VARIANTS,
+    PM_EQ_VARIANTS,
+    mobility_row,
+    mobility_table,
+    overlap_row,
+    overlap_table,
+    pm_eq_row,
+    pm_eq_table,
+    query_row,
+    query_table,
+    recovery_row,
+    recovery_table,
+)
 from repro.core.params import CARDParams
 from repro.core.protocol import CARDProtocol
 from repro.core.query import QueryEngine
 from repro.core.runner import SnapshotRunner, TimeSeriesRunner
 from repro.discovery.expanding_ring import ExpandingRingDiscovery
-from repro.experiments.base import (
-    ExperimentResult,
-    sample_sources,
-    scaled,
-    standard_topology,
-)
+from repro.experiments.legacy import deprecated_oracle
 from repro.mobility.gauss_markov import GaussMarkov
 from repro.mobility.walk import RandomWalk
 from repro.mobility.waypoint import RandomWaypoint
 from repro.net.network import Network
-from repro.scenarios.factory import query_workload
+from repro.scenarios.factory import (
+    query_workload,
+    sample_sources,
+    scaled,
+    standard_topology,
+)
 
 __all__ = [
     "run_ablation_pm_eq",
@@ -45,17 +64,7 @@ __all__ = [
     "run_ablation_recovery",
     "run_ablation_query",
     "run_ablation_mobility",
-    "PM_EQ_VARIANTS",
-    "OVERLAP_VARIANTS",
-    "ABLATION_MOBILITY_CONFIGS",
     "MOBILITY_FACTORIES",
-    "pm_eq_table",
-    "overlap_table",
-    "recovery_row",
-    "recovery_table",
-    "query_table",
-    "mobility_row",
-    "mobility_table",
 ]
 
 
@@ -65,63 +74,7 @@ def _overlap_fraction(runner: SnapshotRunner) -> float:
 
 
 # ----------------------------------------------------------------------
-#: (label, CARDParams overrides) per admission variant — the campaign
-#: port reuses these verbatim, so both paths sweep identical configs.
-PM_EQ_VARIANTS = (
-    ("PM eq.1", {"method": "PM", "pm_equation": 1}),
-    ("PM eq.2", {"method": "PM", "pm_equation": 2}),
-    ("EM", {"method": "EM"}),
-)
-
-OVERLAP_VARIANTS = (
-    ("full EM", {"check_contact_overlap": True, "check_edge_overlap": True}),
-    ("no edge check", {"check_contact_overlap": True, "check_edge_overlap": False}),
-    ("no contact check", {"check_contact_overlap": False, "check_edge_overlap": True}),
-    ("source check only", {"check_contact_overlap": False, "check_edge_overlap": False}),
-)
-
-
-def pm_eq_row(
-    label: str,
-    overlap_fraction: float,
-    mean_reachability: float,
-    mean_contacts: float,
-    forward_per_node: float,
-    backtrack_per_node: float,
-) -> List[object]:
-    return [
-        label,
-        round(100 * overlap_fraction, 2),
-        round(mean_reachability, 2),
-        round(mean_contacts, 2),
-        round(forward_per_node, 1),
-        round(backtrack_per_node, 1),
-    ]
-
-
-def pm_eq_table(rows: List[List[object]], *, n, R, r, noc, raw) -> ExperimentResult:
-    return ExperimentResult(
-        exp_id="ablation_pm_eq",
-        title="Ablation — PM admission equation (1) vs (2) vs EM",
-        headers=[
-            "variant",
-            "overlap %",
-            "mean reach %",
-            "mean contacts",
-            "fwd/node",
-            "backtrack/node",
-        ],
-        rows=rows,
-        notes=[
-            "eq.(1) admits inside (R, 2R] → overlapping contacts (Fig 1's "
-            "pathology); eq.(2) shrinks but cannot eliminate overlap (walk "
-            "distance != true distance); EM eliminates it",
-            f"N={n}, R={R}, r={r}, NoC={noc}",
-        ],
-        raw=raw,
-    )
-
-
+@deprecated_oracle
 def run_ablation_pm_eq(
     *,
     scale: float = 1.0,
@@ -155,37 +108,7 @@ def run_ablation_pm_eq(
     return pm_eq_table(rows, n=n, R=R, r=r, noc=noc, raw=raw)
 
 
-def overlap_row(
-    label: str,
-    overlap_fraction: float,
-    mean_reachability: float,
-    mean_contacts: float,
-    backtrack_per_node: float,
-) -> List[object]:
-    return [
-        label,
-        round(100 * overlap_fraction, 2),
-        round(mean_reachability, 2),
-        round(mean_contacts, 2),
-        round(backtrack_per_node, 1),
-    ]
-
-
-def overlap_table(rows: List[List[object]], *, n, R, r, noc) -> ExperimentResult:
-    return ExperimentResult(
-        exp_id="ablation_overlap",
-        title="Ablation — contribution of the EM overlap checks",
-        headers=["variant", "overlap %", "mean reach %", "mean contacts", "backtrack/node"],
-        rows=rows,
-        notes=[
-            "dropping the edge check reintroduces source-contact overlap; "
-            "dropping the contact check lets contacts crowd each other — "
-            "more contacts admitted, less reachability per contact",
-            f"N={n}, R={R}, r={r}, NoC={noc}",
-        ],
-    )
-
-
+@deprecated_oracle
 def run_ablation_overlap(
     *,
     scale: float = 1.0,
@@ -218,46 +141,7 @@ def run_ablation_overlap(
     return overlap_table(rows, n=n, R=R, r=r, noc=noc)
 
 
-def recovery_row(
-    label: str,
-    lost_per_bin: List[int],
-    maintenance: List[float],
-    selection: List[float],
-    backtracking: List[float],
-    overhead: List[float],
-    total_contacts: List[int],
-) -> List[object]:
-    return [
-        label,
-        sum(lost_per_bin),
-        round(float(np.mean(maintenance)), 2),
-        round(float(np.mean(selection)) + float(np.mean(backtracking)), 2),
-        round(float(np.mean(overhead)), 2),
-        total_contacts[-1] if total_contacts else 0,
-    ]
-
-
-def recovery_table(rows: List[List[object]], *, n, duration) -> ExperimentResult:
-    return ExperimentResult(
-        exp_id="ablation_recovery",
-        title="Ablation — local recovery during contact validation",
-        headers=[
-            "variant",
-            "contacts lost",
-            "maint/node/bin",
-            "reselect/node/bin",
-            "total ovh/node/bin",
-            "contacts at end",
-        ],
-        rows=rows,
-        notes=[
-            "without local recovery every broken hop kills the contact, "
-            "forcing expensive re-selection — §III.C.3's motivation",
-            f"N={n}, R=3, r=12, NoC=5, {duration:g}s RWP",
-        ],
-    )
-
-
+@deprecated_oracle
 def run_ablation_recovery(
     *,
     scale: float = 1.0,
@@ -300,29 +184,7 @@ def run_ablation_recovery(
     return recovery_table(rows, n=n, duration=duration)
 
 
-def query_row(label: str, msgs: int, successes: int, num_queries: int) -> List[object]:
-    return [
-        label,
-        msgs,
-        round(msgs / num_queries, 1),
-        round(100 * successes / num_queries, 1),
-    ]
-
-
-def query_table(rows: List[List[object]], *, n, num_queries) -> ExperimentResult:
-    return ExperimentResult(
-        exp_id="ablation_query",
-        title="Ablation — DSQ escalation vs expanding-ring search",
-        headers=["scheme", "total msgs", "msgs/query", "success %"],
-        rows=rows,
-        notes=[
-            "§III.C.4's claim: depth escalation through contacts beats "
-            "TTL-escalated flooding because queries are directed, not flooded",
-            f"N={n}, R=3, r=12, NoC=6, D<=3, {num_queries} queries",
-        ],
-    )
-
-
+@deprecated_oracle
 def run_ablation_query(
     *,
     scale: float = 1.0,
@@ -359,18 +221,8 @@ def run_ablation_query(
     return query_table(rows, n=n, num_queries=num_queries)
 
 
-#: label → declarative mobility configuration for the mobility ablation;
-#: :data:`MOBILITY_FACTORIES` and the campaign port both derive from it.
-ABLATION_MOBILITY_CONFIGS = {
-    "RWP": {"model": "rwp", "min_speed": 0.5, "max_speed": 5.0, "pause": 2.0},
-    "RandomWalk": {
-        "model": "walk", "min_speed": 0.5, "max_speed": 5.0, "mean_epoch": 5.0,
-    },
-    "GaussMarkov": {
-        "model": "gauss_markov", "alpha": 0.85, "mean_speed": 2.5, "sigma": 1.0,
-    },
-}
-
+#: label → in-process mobility factory, derived from the declarative
+#: configurations shared with the campaign port (artifacts.tables).
 MOBILITY_FACTORIES = {
     "RWP": lambda p, a, rng: RandomWaypoint(
         p,
@@ -399,37 +251,7 @@ MOBILITY_FACTORIES = {
 }
 
 
-def mobility_row(
-    label: str,
-    lost_per_bin: List[int],
-    maintenance: List[float],
-    overhead: List[float],
-    total_contacts: List[int],
-) -> List[object]:
-    return [
-        label,
-        sum(lost_per_bin),
-        round(float(np.mean(maintenance)), 2),
-        round(float(np.mean(overhead)), 2),
-        total_contacts[-1] if total_contacts else 0,
-    ]
-
-
-def mobility_table(rows: List[List[object]], *, n, duration) -> ExperimentResult:
-    return ExperimentResult(
-        exp_id="ablation_mobility",
-        title="Ablation — contact stability across mobility models",
-        headers=["model", "contacts lost", "maint/node/bin", "ovh/node/bin", "contacts at end"],
-        rows=rows,
-        notes=[
-            "the paper's §IV.B footnote conjectures mobility-model "
-            "sensitivity; models with higher relative velocities (random "
-            "walk) lose more contacts than momentum-dominated ones",
-            f"N={n}, R=3, r=12, NoC=5, {duration:g}s",
-        ],
-    )
-
-
+@deprecated_oracle
 def run_ablation_mobility(
     *,
     scale: float = 1.0,

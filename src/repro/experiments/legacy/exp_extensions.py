@@ -1,4 +1,4 @@
-"""Extension experiments beyond the paper's figures.
+"""Extension legacy oracles beyond the paper's figures.
 
 * ``smallworld`` — quantifies the small-world motivation (§I, [10][13]):
   clustering, characteristic path length, the contraction contacts induce,
@@ -6,72 +6,46 @@
 * ``ablation_failures`` — requirement (c) robustness under node crashes:
   CARD's query success and repair traffic while radios die (and optionally
   recover) mid-run.
+
+Kept only as ``pytest -m parity`` ground truth; use
+:func:`repro.api.run` to regenerate these artifacts campaign-first.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
-
+from repro.artifacts.result import ExperimentResult
+from repro.artifacts.tables import (
+    edge_policy_row,
+    edge_policy_table,
+    failures_table,
+    smallworld_row,
+    smallworld_table,
+)
+from repro.analysis.smallworld import smallworld_report
 from repro.core.params import CARDParams
 from repro.core.protocol import CARDProtocol
-from repro.analysis.smallworld import smallworld_report
 from repro.des.engine import Simulator
-from repro.experiments.base import (
-    ExperimentResult,
+from repro.experiments.legacy import deprecated_oracle
+from repro.net.failures import FailureInjector
+from repro.net.network import Network
+from repro.scenarios.factory import (
+    query_workload,
     sample_sources,
     scaled,
     standard_topology,
 )
-from repro.net.failures import FailureInjector
-from repro.net.network import Network
-from repro.scenarios.factory import query_workload
 from repro.util.rng import spawn_rng
 
 __all__ = [
     "run_smallworld",
     "run_ablation_failures",
     "run_ablation_edge_policy",
-    "edge_policy_row",
-    "edge_policy_table",
-    "smallworld_row",
-    "smallworld_table",
-    "failures_table",
 ]
 
 
-def edge_policy_row(
-    label: str,
-    mean_reachability: float,
-    mean_contacts: float,
-    forward_per_node: float,
-    backtrack_per_node: float,
-) -> List[object]:
-    return [
-        label,
-        round(mean_reachability, 2),
-        round(mean_contacts, 2),
-        round(forward_per_node, 1),
-        round(backtrack_per_node, 1),
-    ]
-
-
-def edge_policy_table(rows: List[List[object]], *, n, R, r, noc, raw) -> ExperimentResult:
-    return ExperimentResult(
-        exp_id="ablation_edge_policy",
-        title="Ablation — CSQ edge-launch heuristics (future work §V)",
-        headers=["policy", "mean reach %", "contacts", "fwd/node", "backtrack/node"],
-        rows=rows,
-        notes=[
-            "SPREAD = farthest-point sampling over the edge set's hop "
-            "metric (GPS-free); DEGREE = densest-region first",
-            f"N={n}, R={R}, r={r}, NoC={noc}",
-        ],
-        raw=raw,
-    )
-
-
+@deprecated_oracle
 def run_ablation_edge_policy(
     *,
     scale: float = 1.0,
@@ -112,50 +86,7 @@ def run_ablation_edge_policy(
     return edge_policy_table(rows, n=n, R=R, r=r, noc=noc, raw=raw)
 
 
-def smallworld_row(
-    k: int,
-    clustering: float,
-    path_length: float,
-    augmented_path_length: float,
-    shortcut_gain: float,
-    mean_separation: float,
-    coverage: float,
-) -> List[object]:
-    return [
-        int(k),
-        round(clustering, 3),
-        round(path_length, 2),
-        round(augmented_path_length, 2),
-        round(shortcut_gain, 3),
-        round(mean_separation, 2),
-        round(100 * coverage, 1),
-    ]
-
-
-def smallworld_table(rows: List[List[object]], *, n, R, r, raw) -> ExperimentResult:
-    return ExperimentResult(
-        exp_id="smallworld",
-        title="Extension — small-world statistics of the contact structure",
-        headers=[
-            "NoC",
-            "clustering C",
-            "path length L",
-            "L w/ shortcuts",
-            "gain",
-            "mean separation",
-            "coverage %",
-        ],
-        rows=rows,
-        notes=[
-            "unit-disk MANets are clustered but long-pathed; contacts are "
-            "Watts-Strogatz shortcuts — L shrinks as NoC grows while C is a "
-            "property of the physical graph (unchanged)",
-            f"N={n}, R={R}, r={r}",
-        ],
-        raw=raw,
-    )
-
-
+@deprecated_oracle
 def run_smallworld(
     *,
     scale: float = 1.0,
@@ -205,6 +136,7 @@ def _truncate(table, k):
     return _View(table.ids()[:k])
 
 
+@deprecated_oracle
 def run_ablation_failures(
     *,
     scale: float = 1.0,
@@ -275,22 +207,4 @@ def run_ablation_failures(
         num_failed=len(doomed),
         lost=lost,
         raw={"before": (ok0, msgs0), "crash": (ok1, msgs1), "repaired": (ok2, msgs2)},
-    )
-
-
-def failures_table(
-    rows: List[List[object]], *, n, fail_fraction, num_failed, lost, raw
-) -> ExperimentResult:
-    return ExperimentResult(
-        exp_id="ablation_failures",
-        title="Ablation — robustness to node crashes (requirement c)",
-        headers=["phase", "queries ok", "query msgs", "repair msgs", "contacts held"],
-        rows=rows,
-        notes=[
-            f"{num_failed} of {n} nodes crashed ({100 * fail_fraction:.0f}%); "
-            f"repair = one validation+replenish round per surviving source "
-            f"({lost} contacts dropped)",
-            "success counted over workload pairs whose endpoints survive",
-        ],
-        raw=raw,
     )

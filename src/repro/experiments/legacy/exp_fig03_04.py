@@ -1,0 +1,80 @@
+"""Figs 3 & 4 legacy oracle — Probabilistic Method vs Edge Method.
+
+Paper setup (caption of Fig 4): 500 nodes, 710 m × 710 m, tx range 50 m,
+R=3, r=20, D=1.  Fig 3 plots mean reachability (%) against NoC=1..9 for
+both admission methods; Fig 4 plots CSQ backtracking messages per node
+against NoC=1..5.
+
+Kept only as the ``pytest -m parity`` ground truth for the
+campaign-native twin (``repro.campaign.figures.fig03_04_spec`` /
+``reduce_fig03_04``); use :func:`repro.api.run` to regenerate the
+artifact.  A single NoC=max selection run per method yields every
+smaller-NoC point (selection is sequential; see
+``SnapshotRunner.sweep_noc``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.artifacts.tables import pm_em_table
+from repro.core.params import CARDParams, SelectionMethod
+from repro.core.runner import SnapshotRunner
+from repro.experiments.legacy import deprecated_oracle
+from repro.scenarios.factory import sample_sources, scaled, standard_topology
+
+__all__ = ["run_fig03_04", "run_fig03", "run_fig04"]
+
+
+def _pm_em_sweep(
+    *,
+    scale: float,
+    seed: Optional[int],
+    max_noc: int,
+    R: int = 3,
+    r: int = 20,
+    num_sources: Optional[int] = None,
+):
+    n = scaled(500, scale, minimum=80)
+    topo = standard_topology(num_nodes=n, seed=seed, salt="fig03")
+    sources = sample_sources(n, num_sources, seed)
+    noc_values = list(range(1, max_noc + 1))
+    out = {}
+    for method in (SelectionMethod.PM, SelectionMethod.EM):
+        params = CARDParams(R=R, r=r, noc=max_noc, depth=1, method=method)
+        runner = SnapshotRunner(topo, params, seed=seed, sources=sources)
+        result = runner.run()
+        out[method.value] = runner.sweep_noc(result, noc_values)
+    return noc_values, out
+
+
+@deprecated_oracle
+def run_fig03_04(
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+    max_noc: int = 9,
+    num_sources: Optional[int] = None,
+):
+    """Joint Fig 3 + Fig 4 sweep (shared selection runs)."""
+    noc_values, sweeps = _pm_em_sweep(
+        scale=scale, seed=seed, max_noc=max_noc, num_sources=num_sources
+    )
+    return pm_em_table(noc_values, sweeps["PM"], sweeps["EM"], scale=scale)
+
+
+@deprecated_oracle
+def run_fig03(**kwargs):
+    """Fig 3 alone (delegates to the joint sweep)."""
+    res = run_fig03_04.__wrapped__(**kwargs)
+    res.exp_id = "fig03"
+    return res
+
+
+@deprecated_oracle
+def run_fig04(**kwargs):
+    """Fig 4 alone (NoC=1..5 as in the paper's axis)."""
+    kwargs.setdefault("max_noc", 5)
+    res = run_fig03_04.__wrapped__(**kwargs)
+    res.exp_id = "fig04"
+    return res

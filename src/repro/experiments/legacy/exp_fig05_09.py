@@ -1,4 +1,4 @@
-"""Figs 5-9 — reachability distributions across the CARD parameter space.
+"""Figs 5-9 legacy oracles — reachability distributions across parameters.
 
 All five figures share one template: run contact selection on a static
 topology, compute every node's reachability, and histogram it over 5 %
@@ -16,26 +16,30 @@ bins ("Number of Nodes" vs "Reachability (%)").  The swept knob differs:
 * **Fig 9** — three density-matched network sizes with per-size tuned
   (R, r, NoC), showing CARD can be configured to keep the distribution
   concentrated at high reachability for any size.
+
+Kept only as ``pytest -m parity`` ground truth; use
+:func:`repro.api.run` to regenerate these artifacts campaign-first.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.artifacts.result import ExperimentResult
+from repro.artifacts.tables import distribution_table
 from repro.core.params import CARDParams
-from repro.core.reachability import DIST_BIN_EDGES
 from repro.core.runner import SnapshotRunner
-from repro.experiments.base import (
-    ExperimentResult,
+from repro.experiments.legacy import deprecated_oracle
+from repro.net.topology import Topology
+from repro.scenarios.factory import (
+    FIG9_CONFIGS,
+    build_topology,
     sample_sources,
     scaled,
     standard_topology,
 )
-from repro.net.topology import Topology
-from repro.scenarios.factory import FIG9_CONFIGS, build_topology
-from repro.util.ascii_plot import ascii_histogram
 
 __all__ = [
     "run_fig05",
@@ -43,43 +47,7 @@ __all__ = [
     "run_fig07",
     "run_fig08",
     "run_fig09",
-    "distribution_table",
 ]
-
-
-def distribution_table(
-    columns: Dict[str, np.ndarray],
-    means: Dict[str, float],
-    *,
-    exp_id: str,
-    title: str,
-    notes: List[str],
-    plot_key: Optional[str] = None,
-) -> ExperimentResult:
-    """Assemble the bins × sweep-values table shared by Figs 5-9."""
-    headers = ["Reach% bin"] + list(columns)
-    rows: List[List[object]] = []
-    for b, edge in enumerate(DIST_BIN_EDGES):
-        rows.append([int(edge)] + [int(columns[c][b]) for c in columns])
-    rows.append(["mean%"] + [round(means[c], 2) for c in columns])
-    plots = []
-    if plot_key is not None and plot_key in columns:
-        plots.append(
-            ascii_histogram(
-                [int(e) for e in DIST_BIN_EDGES],
-                columns[plot_key].tolist(),
-                title=f"{title} — distribution at {plot_key}",
-            )
-        )
-    return ExperimentResult(
-        exp_id=exp_id,
-        title=title,
-        headers=headers,
-        rows=rows,
-        notes=notes,
-        plots=plots,
-        raw={"columns": columns, "means": means},
-    )
 
 
 def _sweep_distributions(
@@ -103,6 +71,7 @@ def _sweep_distributions(
 
 
 # ----------------------------------------------------------------------
+@deprecated_oracle
 def run_fig05(
     *,
     scale: float = 1.0,
@@ -139,6 +108,7 @@ def run_fig05(
     )
 
 
+@deprecated_oracle
 def run_fig06(
     *,
     scale: float = 1.0,
@@ -173,6 +143,7 @@ def run_fig06(
     )
 
 
+@deprecated_oracle
 def run_fig07(
     *,
     scale: float = 1.0,
@@ -219,6 +190,7 @@ def run_fig07(
     )
 
 
+@deprecated_oracle
 def run_fig08(
     *,
     scale: float = 1.0,
@@ -264,6 +236,7 @@ def run_fig08(
     )
 
 
+@deprecated_oracle
 def run_fig09(
     *,
     scale: float = 1.0,

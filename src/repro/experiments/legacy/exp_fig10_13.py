@@ -1,6 +1,6 @@
-"""Figs 10-13 — maintenance overhead over time under random-waypoint mobility.
+"""Figs 10-13 legacy oracles — maintenance overhead under RWP mobility.
 
-These experiments run the full event-driven stack: RWP mobility rebuilds
+These loops run the full event-driven stack: RWP mobility rebuilds
 connectivity every ``mobility_step``; each source validates its contacts
 every ``validation_period`` (2 s, jittered), repairing routes with local
 recovery and re-selecting lost contacts; every control message is binned
@@ -17,50 +17,36 @@ into 2-second windows.
   overhead decaying over time while the total number of held contacts
   creeps up: sources gradually settle on *stable* contacts (low relative
   velocity), so fewer validations fail.
+
+Kept only as ``pytest -m parity`` ground truth; use
+:func:`repro.api.run` to regenerate these artifacts campaign-first.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-import numpy as np
-
+from repro.artifacts.result import ExperimentResult
+from repro.artifacts.tables import (
+    DEFAULT_PAUSE,
+    DEFAULT_SPEED,
+    FIG13_SPEED,
+    fig13_hop_params,
+    fig13_table,
+    series_table,
+)
 from repro.core.params import CARDParams
 from repro.core.runner import TimeSeriesResult, TimeSeriesRunner
-from repro.experiments.base import (
-    ExperimentResult,
-    sample_sources,
-    scaled,
-    standard_topology,
-)
+from repro.experiments.legacy import deprecated_oracle
 from repro.mobility.waypoint import RandomWaypoint
-from repro.util.ascii_plot import ascii_series
+from repro.scenarios.factory import sample_sources, scaled, standard_topology
 
 __all__ = [
     "run_fig10",
     "run_fig11",
     "run_fig12",
     "run_fig13",
-    "series_table",
-    "fig13_table",
-    "fig13_hop_params",
-    "DEFAULT_SPEED",
-    "DEFAULT_PAUSE",
-    "FIG13_SPEED",
 ]
-
-#: mobility defaults for the overhead experiments (Figs 10-12): moderate
-#: pedestrian-to-vehicle speeds with short pauses.  The paper does not
-#: print its setdest parameters; this regime keeps churn low enough that
-#: re-selection cost is governed by the admission-region geometry (the
-#: effect Figs 11/12 isolate) rather than by raw path breakage.
-DEFAULT_SPEED = (0.5, 5.0)
-DEFAULT_PAUSE = 2.0
-#: Fig 13's stability study instead uses the classic heterogeneous-speed
-#: RWP (min speed 0): the slow tail of the speed distribution supplies the
-#: "stable contacts" whose accumulation decays maintenance overhead — the
-#: paper's own footnote credits the RWP model for exactly this effect.
-FIG13_SPEED = (0.0, 10.0)
 
 
 def _rwp_factory(min_speed: float, max_speed: float, pause: float):
@@ -101,52 +87,14 @@ def _run_series(
     return runner.run()
 
 
-def series_table(
-    times: Sequence[float],
-    series_by_label: Dict[str, Sequence[float]],
-    *,
-    exp_id: str,
-    title: str,
-    ylabel: str,
-    notes: List[str],
-    raw: Dict[str, object],
-) -> ExperimentResult:
-    """Assemble a per-bin series table (the Figs 10-12 template).
-
-    ``series_by_label`` maps curve label → one value per bin; this is
-    shared by the legacy runners (values straight from
-    :class:`TimeSeriesResult`) and the campaign reducers (values out of
-    the JSONL store), so both paths emit identical artifacts.
-    """
-    labels = list(series_by_label)
-    headers = ["t (s)"] + labels
-    rows: List[List[object]] = []
-    for i, t in enumerate(times):
-        rows.append([t] + [round(series_by_label[l][i], 2) for l in labels])
-    plot = ascii_series(
-        {l: list(series_by_label[l]) for l in labels},
-        list(times),
-        title=f"{title} — {ylabel}",
-    )
-    return ExperimentResult(
-        exp_id=exp_id,
-        title=title,
-        headers=headers,
-        rows=rows,
-        notes=notes,
-        plots=[plot],
-        raw=raw,
-    )
-
-
 def _series_table(
-    series_by_label: Dict[str, TimeSeriesResult],
+    series_by_label,
     value_of,
     *,
     exp_id: str,
     title: str,
     ylabel: str,
-    notes: List[str],
+    notes,
 ) -> ExperimentResult:
     labels = list(series_by_label)
     first = series_by_label[labels[0]]
@@ -162,6 +110,7 @@ def _series_table(
 
 
 # ----------------------------------------------------------------------
+@deprecated_oracle
 def run_fig10(
     *,
     scale: float = 1.0,
@@ -199,6 +148,7 @@ def run_fig10(
     )
 
 
+@deprecated_oracle
 def run_fig11(
     *,
     scale: float = 1.0,
@@ -237,6 +187,7 @@ def run_fig11(
     return result
 
 
+@deprecated_oracle
 def run_fig12(
     *,
     scale: float = 1.0,
@@ -274,67 +225,7 @@ def run_fig12(
     )
 
 
-def fig13_hop_params(n: int) -> tuple:
-    """Fig 13's (R, r), shrunk with the network's hop diameter.
-
-    The paper's R=4, r=16 assume the full N=250 diameter; scaled-down CI
-    runs shrink the network's hop diameter by ~sqrt(scale), so the hop
-    parameters shrink with it (otherwise the (2R, r] band falls off the
-    edge of the network and no contacts can exist at all).
-    """
-    hop_factor = float(np.sqrt(n / 250.0))
-    R = max(2, int(round(4 * hop_factor)))
-    r = max(2 * R + 2, int(round(16 * hop_factor)))
-    return R, r
-
-
-def fig13_table(
-    times: Sequence[float],
-    maintenance: Sequence[float],
-    total_contacts: Sequence[int],
-    lost_per_bin: Sequence[int],
-    *,
-    n: int,
-    R: int,
-    r: int,
-    raw: Dict[str, object],
-) -> ExperimentResult:
-    """Assemble the Fig 13 stability table (shared legacy/campaign)."""
-    headers = ["t (s)", "Maintenance/node", "Total contacts", "Lost this bin"]
-    rows: List[List[object]] = []
-    for i, t in enumerate(times):
-        rows.append(
-            [
-                t,
-                round(maintenance[i], 2),
-                total_contacts[i],
-                lost_per_bin[i],
-            ]
-        )
-    plot = ascii_series(
-        {
-            "maintenance/node": list(maintenance),
-            "contacts/10": [c / 10.0 for c in total_contacts],
-        },
-        list(times),
-        title="Fig 13 — maintenance decays while contacts stabilise",
-    )
-    return ExperimentResult(
-        exp_id="fig13",
-        title="Fig 13 — Variation of overhead with time (N=250, NoC=6, R=4, r=16)",
-        headers=headers,
-        rows=rows,
-        notes=[
-            "paper: maintenance overhead decreases steadily over time while "
-            "held contacts rise slightly — sources settle on stable contacts",
-            f"N={n}, R={R}, r={r}, RWP speeds {FIG13_SPEED} m/s (min 0: the "
-            f"slow tail provides the stable contacts), pause {DEFAULT_PAUSE}s",
-        ],
-        plots=[plot],
-        raw=raw,
-    )
-
-
+@deprecated_oracle
 def run_fig13(
     *,
     scale: float = 1.0,

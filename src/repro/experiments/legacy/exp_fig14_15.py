@@ -1,4 +1,4 @@
-"""Fig 14 (reachability/overhead trade-off) and Fig 15 (scheme comparison).
+"""Figs 14/15 legacy oracles — trade-off and scheme comparison.
 
 **Fig 14** normalizes mean reachability and total contact overhead
 (selection + backtracking + one maintenance cycle) against NoC to exhibit
@@ -12,6 +12,9 @@ random workload for every scheme.  The paper reports CARD's traffic far
 below both baselines, with a 95 % success rate at D=3 (the blind schemes
 trivially reach 100 % within a connected component); the separate "CARD
 Overhead" bar is the standing cost of building and maintaining contacts.
+
+Kept only as ``pytest -m parity`` ground truth; use
+:func:`repro.api.run` to regenerate these artifacts campaign-first.
 """
 
 from __future__ import annotations
@@ -20,119 +23,33 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.artifacts.result import ExperimentResult
+from repro.artifacts.tables import fig15_table, tradeoff_table
 from repro.core.params import CARDParams
 from repro.core.protocol import CARDProtocol
 from repro.core.runner import SnapshotRunner
 from repro.discovery.base import CARDDiscoveryAdapter
 from repro.discovery.bordercast import BordercastDiscovery, QDMode
 from repro.discovery.flooding import FloodingDiscovery
-from repro.experiments.base import (
-    ExperimentResult,
+from repro.experiments.legacy import deprecated_oracle
+from repro.metrics.comparison import SchemeComparison
+from repro.metrics.summary import fraction_above
+from repro.net.network import Network
+from repro.routing.neighborhood import NeighborhoodTables
+from repro.scenarios.factory import (
+    FIG15_CONFIGS,
+    build_topology,
+    query_workload,
     sample_sources,
     scaled,
     standard_topology,
 )
-from repro.metrics.comparison import SchemeComparison
-from repro.metrics.summary import fraction_above, normalized_tradeoff
-from repro.net.network import Network
-from repro.routing.neighborhood import NeighborhoodTables
-from repro.scenarios.factory import FIG15_CONFIGS, build_topology, query_workload
-from repro.util.ascii_plot import ascii_series
 
-__all__ = ["run_fig14", "run_fig15", "tradeoff_table", "fig15_table"]
-
-
-def tradeoff_table(
-    noc_values: List[int],
-    reach: List[float],
-    overhead: List[float],
-    frac50: List[float],
-    *,
-    n: int,
-    R: int,
-    r: int,
-    validation_rounds: int,
-    raw: Dict[str, object],
-) -> ExperimentResult:
-    """Assemble the Fig 14 trade-off table (shared legacy/campaign)."""
-    rows_norm = normalized_tradeoff(noc_values, reach, overhead)
-    headers = ["NoC", "Reach (norm)", "Overhead (norm)", "Reach %", "Ovh msgs/node", ">=50% frac"]
-    rows: List[List[object]] = []
-    for i, (k, rn, on) in enumerate(rows_norm):
-        rows.append(
-            [k, round(rn, 3), round(on, 3), round(reach[i], 2), round(overhead[i], 1), round(frac50[i], 3)]
-        )
-    plot = ascii_series(
-        {
-            "reachability": [row[1] for row in rows_norm],
-            "overhead": [row[2] for row in rows_norm],
-        },
-        noc_values,
-        title="Fig 14 — normalized reachability vs overhead",
-    )
-    return ExperimentResult(
-        exp_id="fig14",
-        title="Fig 14 — Trade-off between reachability and contact overhead",
-        headers=headers,
-        rows=rows,
-        notes=[
-            "paper: a desirable region exists where reachability >= 50 % at "
-            "moderate overhead (reachability saturates, overhead keeps rising)",
-            f"N={n}, R={R}, r={r}, D=1; maintenance term = "
-            f"{validation_rounds} validation cycles over stored routes",
-        ],
-        plots=[plot],
-        raw=raw,
-    )
-
-
-def fig15_table(
-    rows: List[List[object]],
-    series: Dict[str, List[float]],
-    *,
-    num_queries: int,
-    raw: Dict[str, object],
-) -> ExperimentResult:
-    """Assemble the Fig 15 comparison table (shared legacy/campaign)."""
-    headers = [
-        "N",
-        "Flood msgs",
-        "Border msgs",
-        "CARD msgs",
-        "Flood events",
-        "Border events",
-        "CARD events",
-        "CARD overhead",
-        "Flood succ%",
-        "Border succ%",
-        "CARD succ%",
-    ]
-    plot = ascii_series(
-        series,
-        [row[0] for row in rows],
-        title="Fig 15 — querying traffic vs network size",
-    )
-    return ExperimentResult(
-        exp_id="fig15",
-        title="Fig 15 — Comparison of CARD with flooding and bordercasting",
-        headers=headers,
-        rows=rows,
-        notes=[
-            "paper: CARD's querying traffic is far below bordercasting and "
-            "flooding; CARD succeeds ~95 % at D=3, the blind schemes ~100 %",
-            f"workload: {num_queries} random (source, target) pairs per size; "
-            "msgs = transmissions (the paper's §III.B control-message count), "
-            "events = tx+rx on the broadcast medium (flood/bordercast "
-            "transmissions are heard by ~node-degree radios, CARD's unicast "
-            "DSQ hops by one) — the NS-2-style metric behind the paper's gap",
-            "bordercasting uses QD1+QD2; zone radius equals CARD's R per size",
-        ],
-        plots=[plot],
-        raw=raw,
-    )
+__all__ = ["run_fig14", "run_fig15"]
 
 
 # ----------------------------------------------------------------------
+@deprecated_oracle
 def run_fig14(
     *,
     scale: float = 1.0,
@@ -189,6 +106,7 @@ def run_fig14(
 
 
 # ----------------------------------------------------------------------
+@deprecated_oracle
 def run_fig15(
     *,
     scale: float = 1.0,

@@ -1,46 +1,24 @@
-"""Experiment registry: id → runner function.
+"""Experiment registry: id → campaign-first runner.
 
-Every non-derived experiment id also has a ``<id>_campaign`` twin that
-produces the identical artifact through the ``repro.campaign`` engine
-(declarative spec → cached/parallel/resumable cells → reducer); the
-twins are registered as derived so ``python -m repro.experiments all``
-produces each artifact exactly once.
+Since the campaign-first flip, every id resolves to the corresponding
+:class:`~repro.artifacts.registry.Artifact`'s ``run`` method — execution
+goes through the campaign engine (content-hash cached, parallelisable,
+resumable; stores written before the flip stay warm because the cell
+schema is unchanged).  The legacy per-figure loops are **not** here —
+they live in :mod:`repro.experiments.legacy` purely as ``pytest -m
+parity`` oracles.
+
+``<id>_campaign`` aliases are kept for pre-flip workflows; they are the
+*same* callables and are registered as derived so ``python -m
+repro.experiments all`` produces each artifact exactly once.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet
 
-from repro.campaign.figures import CAMPAIGN_FIGURES
-from repro.experiments.base import ExperimentResult
-from repro.experiments.exp_ablations import (
-    run_ablation_mobility,
-    run_ablation_overlap,
-    run_ablation_pm_eq,
-    run_ablation_query,
-    run_ablation_recovery,
-)
-from repro.experiments.exp_fig03_04 import run_fig03, run_fig03_04, run_fig04
-from repro.experiments.exp_fig05_09 import (
-    run_fig05,
-    run_fig06,
-    run_fig07,
-    run_fig08,
-    run_fig09,
-)
-from repro.experiments.exp_fig10_13 import (
-    run_fig10,
-    run_fig11,
-    run_fig12,
-    run_fig13,
-)
-from repro.experiments.exp_extensions import (
-    run_ablation_edge_policy,
-    run_ablation_failures,
-    run_smallworld,
-)
-from repro.experiments.exp_fig14_15 import run_fig14, run_fig15
-from repro.experiments.exp_table1 import run_table1
+from repro.artifacts.registry import ARTIFACTS
+from repro.artifacts.result import ExperimentResult
 
 __all__ = [
     "EXPERIMENTS",
@@ -49,44 +27,23 @@ __all__ = [
     "run_experiment",
 ]
 
-#: All reproducible artifacts (the paper's, then our ablations).
+#: All reproducible artifacts, campaign-first (the paper's, then ours).
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "table1": run_table1,
-    "fig03": run_fig03,
-    "fig04": run_fig04,
-    "fig03_04": run_fig03_04,
-    "fig05": run_fig05,
-    "fig06": run_fig06,
-    "fig07": run_fig07,
-    "fig08": run_fig08,
-    "fig09": run_fig09,
-    "fig10": run_fig10,
-    "fig11": run_fig11,
-    "fig12": run_fig12,
-    "fig13": run_fig13,
-    "fig14": run_fig14,
-    "fig15": run_fig15,
-    "ablation_pm_eq": run_ablation_pm_eq,
-    "ablation_overlap": run_ablation_overlap,
-    "ablation_recovery": run_ablation_recovery,
-    "ablation_query": run_ablation_query,
-    "ablation_mobility": run_ablation_mobility,
-    "ablation_failures": run_ablation_failures,
-    "ablation_edge_policy": run_ablation_edge_policy,
-    "smallworld": run_smallworld,
+    artifact_id: artifact.run for artifact_id, artifact in ARTIFACTS.items()
 }
 
-#: campaign twins — one per ported legacy id (incl. the fig03_04 joint)
+#: pre-flip aliases — same campaign path, kept for old scripts/stores
 EXPERIMENTS.update(
-    {f"{exp_id}_campaign": port.run for exp_id, port in CAMPAIGN_FIGURES.items()}
+    {f"{artifact_id}_campaign": artifact.run
+     for artifact_id, artifact in ARTIFACTS.items()}
 )
 
-#: Experiments that merely re-derive another registered artifact
-#: (composites and campaign-engine twins).  ``python -m repro.experiments
-#: all`` skips these so each artifact is produced exactly once; they stay
-#: individually runnable by id.
+#: Experiments that merely re-derive another registered artifact (the
+#: fig03+fig04 joint and the ``_campaign`` aliases).  ``python -m
+#: repro.experiments all`` skips these so each artifact is produced
+#: exactly once; they stay individually runnable by id.
 DERIVED_EXPERIMENTS: FrozenSet[str] = frozenset(
-    {"fig03_04"} | {f"{exp_id}_campaign" for exp_id in CAMPAIGN_FIGURES}
+    {"fig03_04"} | {f"{artifact_id}_campaign" for artifact_id in ARTIFACTS}
 )
 
 
@@ -100,5 +57,5 @@ def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
 
 
 def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id (through the campaign engine)."""
     return get_experiment(exp_id)(**kwargs)

@@ -2,10 +2,11 @@
 
 Three groups:
 
-* ``TestParityMatrix`` (``pytest -m parity``) — for **every** ported
-  experiment id, the campaign-reduced artifact must equal the legacy
-  runner's output bit-for-bit (headers, rows, ASCII plots) on small-N
-  topologies, across ≥2 seeds and ≥2 worker counts.
+* ``TestParityMatrix`` (``pytest -m parity``) — the registry is
+  campaign-first, so for **every** artifact id with a legacy oracle,
+  ``run_experiment(<id>)`` (the campaign path) must equal the oracle in
+  ``repro.experiments.legacy`` bit-for-bit (headers, rows, ASCII plots)
+  on small-N topologies, across ≥2 seeds and ≥2 worker counts.
 * ``TestTimeSeriesCells`` / ``TestCaseSpecs`` — property and
   hash-stability tests for the extended ``CellSpec``: time-series cells
   hash deterministically and keep snapshot cells' pre-extension hashes,
@@ -24,16 +25,15 @@ import json
 import numpy as np
 import pytest
 
+from repro.artifacts.registry import ARTIFACTS, artifact_ids, get_artifact
 from repro.campaign.__main__ import main as campaign_main
 from repro.campaign.figures import (
-    CAMPAIGN_FIGURES,
-    campaign_figure_ids,
     fig05_spec,
     fig10_spec,
     fig11_spec,
     fig12_spec,
-    get_figure_port,
 )
+from repro.experiments.legacy import LEGACY_EXPERIMENTS
 from repro.campaign.runner import CampaignRunner, execute_cell
 from repro.campaign.spec import (
     CampaignSpec,
@@ -51,8 +51,8 @@ from repro.experiments.registry import (
 from repro.scenarios.factory import standard_topology
 
 #: per-experiment kwargs keeping the matrix fast (small N, short runs);
-#: every ported id appears here — a port without a matrix entry fails
-#: ``test_every_port_is_in_the_matrix``.
+#: every id with a legacy oracle appears here — an oracle without a
+#: matrix entry fails ``test_every_oracle_is_in_the_matrix``.
 PARITY_KWARGS = {
     "table1": dict(scale=0.15),
     "fig03": dict(scale=0.2, max_noc=3, num_sources=20),
@@ -103,24 +103,27 @@ def tiny_series_cell(**overrides) -> CellSpec:
 
 # ----------------------------------------------------------------------
 @pytest.mark.parity
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestParityMatrix:
     @pytest.mark.parametrize("seed,n_workers", SEED_WORKER_MATRIX)
     @pytest.mark.parametrize("exp_id", sorted(PARITY_KWARGS))
-    def test_campaign_rebuilds_legacy_artifact(
+    def test_campaign_path_matches_legacy_oracle(
         self, exp_id, seed, n_workers, tmp_path
     ):
         kwargs = dict(PARITY_KWARGS[exp_id], seed=seed)
-        legacy = run_experiment(exp_id, **kwargs)
+        legacy = LEGACY_EXPERIMENTS[exp_id](**kwargs)
         store = ResultStore(tmp_path / "store.jsonl")
+        # the flipped registry: <id> itself resolves to the campaign path
         campaign = run_experiment(
-            f"{exp_id}_campaign", store=store, n_workers=n_workers, **kwargs
+            exp_id, store=store, n_workers=n_workers, **kwargs
         )
         assert campaign.headers == legacy.headers
         assert campaign.rows == legacy.rows
         assert campaign.plots == legacy.plots
-        assert campaign.exp_id == f"{exp_id}_campaign"
+        assert campaign.exp_id == exp_id
         # a second invocation against the same store is pure cache and
-        # still reduces to the identical artifact
+        # still reduces to the identical artifact — through the pre-flip
+        # `<id>_campaign` alias, which must stay registered
         again = run_experiment(
             f"{exp_id}_campaign",
             store=ResultStore(tmp_path / "store.jsonl"),
@@ -131,23 +134,43 @@ class TestParityMatrix:
 
 
 class TestPortCoverage:
-    def test_every_nonderived_experiment_has_campaign_twin(self):
-        for exp_id in EXPERIMENTS:
-            if exp_id in DERIVED_EXPERIMENTS or exp_id.endswith("_campaign"):
-                continue
-            assert f"{exp_id}_campaign" in EXPERIMENTS, (
-                f"{exp_id} has no campaign twin"
-            )
+    def test_every_oracle_has_a_registered_artifact(self):
+        for exp_id in LEGACY_EXPERIMENTS:
+            assert exp_id in ARTIFACTS, f"{exp_id} lost its artifact"
+            assert ARTIFACTS[exp_id].has_oracle
+
+    def test_campaign_aliases_are_registered_and_derived(self):
+        for exp_id in ARTIFACTS:
+            assert exp_id in EXPERIMENTS
+            assert f"{exp_id}_campaign" in EXPERIMENTS
             assert f"{exp_id}_campaign" in DERIVED_EXPERIMENTS
 
-    def test_every_port_is_in_the_matrix(self):
-        assert set(PARITY_KWARGS) == set(CAMPAIGN_FIGURES)
+    def test_every_oracle_is_in_the_matrix(self):
+        assert set(PARITY_KWARGS) == set(LEGACY_EXPERIMENTS)
 
-    def test_port_lookup(self):
-        assert get_figure_port("fig10").exp_id == "fig10"
-        with pytest.raises(ValueError, match="no campaign port"):
-            get_figure_port("nonsense")
-        assert campaign_figure_ids() == sorted(CAMPAIGN_FIGURES)
+    def test_campaign_native_artifacts_marked_oracle_free(self):
+        oracle_free = {
+            exp_id for exp_id, a in ARTIFACTS.items() if not a.has_oracle
+        }
+        assert "mobility_rate" in oracle_free
+        assert not oracle_free & set(LEGACY_EXPERIMENTS)
+
+    def test_artifact_lookup(self):
+        assert get_artifact("fig10").exp_id == "fig10"
+        with pytest.raises(ValueError, match="unknown artifact"):
+            get_artifact("nonsense")
+        assert artifact_ids() == sorted(ARTIFACTS)
+
+    def test_pre_flip_registry_surface_still_resolves(self):
+        # CAMPAIGN_FIGURES / get_figure_port / run_<id>_campaign moved to
+        # repro.artifacts.registry but stay importable from figures
+        from repro.campaign import figures
+
+        assert figures.CAMPAIGN_FIGURES is ARTIFACTS
+        assert figures.get_figure_port("fig10") is ARTIFACTS["fig10"]
+        assert figures.run_fig07_campaign == ARTIFACTS["fig07"].run
+        with pytest.raises(AttributeError):
+            figures.run_nonsense_campaign
 
 
 class TestCrossFigureCache:
@@ -476,9 +499,12 @@ class TestFigureCLI:
         assert campaign_main(["run", str(spec_path)]) == 0
         assert "4 executed" in capsys.readouterr().out
 
-    def test_figure_unknown_id_clean_error(self, capsys):
+    def test_figure_unknown_id_lists_valid_ids(self, capsys):
         assert campaign_main(["figure", "nonsense"]) == 1
-        assert "no campaign port" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown artifact" in err
+        # the error names the valid ids instead of a bare KeyError
+        assert "fig10" in err and "mobility_rate" in err
 
     @pytest.mark.parametrize("exp_id", ["fig03", "fig04", "fig12"])
     def test_figure_options_reach_wrapper_ports(self, exp_id, tmp_path, capsys):

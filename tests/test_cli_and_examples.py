@@ -35,9 +35,12 @@ class TestCLI:
         assert main(["fig07", "--scale", "0.2", "--sources", "15"]) == 0
         assert "NoC" in capsys.readouterr().out
 
-    def test_unknown_experiment_raises(self):
-        with pytest.raises(KeyError):
-            main(["nope"])
+    def test_unknown_experiment_lists_valid_ids(self, capsys):
+        # CLI UX: a typo'd id prints the valid ids, not a bare KeyError
+        assert main(["nope"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown experiment 'nope'" in err
+        assert "fig07" in err and "mobility_rate" in err
 
 
 @pytest.mark.slow

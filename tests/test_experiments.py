@@ -103,13 +103,14 @@ class TestReachabilityFigures:
 
 
 class TestTimeSeriesFigures:
+    # campaign-first raw payloads are the stored cells' metrics dicts
     def test_fig10_overhead_grows_with_noc(self):
         res = run_experiment(
             "fig10", scale=0.2, seed=0, noc_values=(2, 6), duration=6.0,
             num_sources=20,
         )
-        lo = sum(res.raw["NoC=2"].overhead)
-        hi = sum(res.raw["NoC=6"].overhead)
+        lo = sum(res.raw["NoC=2"]["overhead"])
+        hi = sum(res.raw["NoC=6"]["overhead"])
         assert hi >= lo
 
     def test_fig11_12_share_shape(self):
@@ -124,15 +125,15 @@ class TestTimeSeriesFigures:
         assert len(res11.rows) == len(res12.rows) == 2
         # backtracking is a component of total overhead
         for rv in ("r=8", "r=12"):
-            total = sum(res11.raw[rv].overhead)
-            back = sum(res12.raw[rv].backtracking)
+            total = sum(res11.raw[rv]["overhead"])
+            back = sum(res12.raw[rv]["backtracking"])
             assert back <= total + 1e-9
 
     def test_fig13_series_lengths(self):
         res = run_experiment("fig13", scale=0.3, seed=0, duration=8.0, num_sources=20)
         series = res.raw["series"]
-        assert len(series.times) == 4
-        assert len(series.total_contacts) == 4
+        assert len(series["times"]) == 4
+        assert len(series["total_contacts"]) == 4
 
 
 class TestComparisonFigures:
@@ -213,13 +214,13 @@ class TestExtensionExperiments:
         res = run_experiment("smallworld", scale=0.25, seed=0, **FEW_SOURCES)
         reports = res.raw
         ks = sorted(reports)
-        lengths = [reports[k].augmented_path_length for k in ks]
+        lengths = [reports[k]["augmented_path_length"] for k in ks]
         assert all(b <= a + 1e-9 for a, b in zip(lengths, lengths[1:]))
         # coverage never decreases with more contacts
-        coverage = [reports[k].coverage for k in ks]
+        coverage = [reports[k]["coverage"] for k in ks]
         assert all(b >= a - 1e-9 for a, b in zip(coverage, coverage[1:]))
 
     def test_smallworld_clustering_invariant(self):
         res = run_experiment("smallworld", scale=0.25, seed=0, **FEW_SOURCES)
-        clusterings = {round(rep.clustering, 9) for rep in res.raw.values()}
+        clusterings = {round(rep["clustering"], 9) for rep in res.raw.values()}
         assert len(clusterings) == 1
