@@ -44,11 +44,14 @@ def main() -> None:
 
     # 4. resource discovery: find a node far outside the source's zone
     source = 0
-    dist = card.tables.distances
-    far = [int(v) for v in range(topo.num_nodes) if dist[source, v] > 8]
+    # global distances are sampled/per-source since the DistanceView
+    # redesign: one BFS row, never an N x N matrix
+    gview = topo.distance_view(None)
+    hops = gview.hops_many(source, range(topo.num_nodes))
+    far = [int(v) for v in range(topo.num_nodes) if hops[v] > 8]
     target = far[0] if far else topo.num_nodes - 1
     res = card.query(source, target)
-    print(f"query {source} -> {target} ({int(dist[source, target])} hops away): "
+    print(f"query {source} -> {target} ({int(hops[target])} hops away): "
           f"success={res.success} at contact level {res.depth_found}, "
           f"{res.msgs} query messages, route of {len(res.path or []) - 1} hops")
 

@@ -72,10 +72,11 @@ def main() -> None:
     )
 
     # ground-truth nearest gateway per querier, for the blind baselines
-    dist = card.tables.distances
+    # (per-source BFS rows via the global view; no N x N matrix)
+    gview = topo.distance_view(None)
     nearest = {
-        q: gateways[int(np.argmin([dist[q, g] if dist[q, g] >= 0 else 10**6
-                                   for g in gateways]))]
+        q: gateways[int(np.argmin([h if h >= 0 else 10**6
+                                   for h in gview.hops_many(q, gateways)]))]
         for q in queriers
     }
 

@@ -29,7 +29,7 @@ Package layout
 ``repro.artifacts``  — the paper-artifact registry: each table/figure as
                        an ``Artifact`` (spec builder + reducer + metadata)
 ``repro.experiments``— campaign-first regeneration by id (CLI); the old
-                       per-figure loops live on in ``experiments.legacy``
+                       per-figure loops are gone (golden fixtures pin output)
                        as parity oracles
 ``repro.api``        — the stable facade: ``list_artifacts`` /
                        ``describe`` / ``run`` (multi-seed mean ± CI)

@@ -58,8 +58,28 @@ def clustering_coefficient(adj: Sequence[np.ndarray]) -> float:
     return total / n
 
 
-def characteristic_path_length(adj: Sequence[np.ndarray]) -> float:
-    """Mean hop distance over connected pairs (the Watts-Strogatz L)."""
+def characteristic_path_length(
+    adj: Sequence[np.ndarray],
+    *,
+    pair_sample: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Mean hop distance over connected pairs (the Watts-Strogatz L).
+
+    ``pair_sample`` switches to the sampled no-APSP estimator
+    (:func:`repro.net.graph.sample_pair_stats` over that many BFS
+    sources) once the graph outgrows the sample — the N≫10³ regime where
+    the exact all-pairs matrix would not fit.  Small graphs always take
+    the exact branch, keeping default-scale artifacts byte-identical.
+    """
+    n = len(adj)
+    if pair_sample is not None and n > int(pair_sample):
+        est = g.sample_pair_stats(
+            adj,
+            int(pair_sample),
+            rng if rng is not None else np.random.default_rng(0),
+        )
+        return float(est.mean_hops)
     dist = g.hop_distance_matrix(adj)
     finite = dist[dist > 0]
     return float(finite.mean()) if finite.size else 0.0
@@ -153,12 +173,17 @@ def smallworld_report(
     membership: np.ndarray,
     contact_tables: Dict[int, ContactTable],
     sources: Optional[Sequence[int]] = None,
+    *,
+    pair_sample: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> SmallWorldReport:
     """Compute a :class:`SmallWorldReport` for a bootstrapped protocol.
 
     The *augmented* graph adds every contact pair as a direct edge to the
     physical adjacency — the idealized "short cut" reading of [13] — and
-    re-measures the characteristic path length on it.
+    re-measures the characteristic path length on it.  ``pair_sample``
+    threads through to both path-length measurements (the sampled
+    no-APSP estimator for N≫10³ graphs).
     """
     n = len(adj)
     overlay = contact_graph(contact_tables, n)
@@ -172,8 +197,12 @@ def smallworld_report(
     mean_sep = float(sep[covered].mean()) if covered.any() else 0.0
     return SmallWorldReport(
         clustering=clustering_coefficient(adj),
-        path_length=characteristic_path_length(adj),
-        augmented_path_length=characteristic_path_length(augmented),
+        path_length=characteristic_path_length(
+            adj, pair_sample=pair_sample, rng=rng
+        ),
+        augmented_path_length=characteristic_path_length(
+            augmented, pair_sample=pair_sample, rng=rng
+        ),
         mean_separation=mean_sep,
         coverage=float(covered.mean()),
     )

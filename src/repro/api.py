@@ -24,11 +24,12 @@ reduces to a mean ± 95 %-CI variant via
 :func:`repro.campaign.aggregate.group_reduce` (one row per case/grid
 configuration, averaged over seeds only).
 
-Layering contract: this module never imports
-:mod:`repro.experiments.legacy` (nor anything else under
-:mod:`repro.experiments`) — the legacy loops are parity oracles, not an
-execution path.  ``tests/test_api.py`` enforces this in a fresh
-interpreter.
+Layering contract: this module never imports anything under
+:mod:`repro.experiments` — the facade sits below the CLI harness, which
+imports *it*.  ``tests/test_api.py`` enforces this in a fresh
+interpreter.  (The one-time ``repro.experiments.legacy`` parity oracles
+are gone; output stability is pinned by the golden fixtures under
+``tests/golden/``.)
 """
 
 from __future__ import annotations
@@ -78,7 +79,7 @@ def _as_store(store: StoreLike) -> ResultStore:
 def run(
     artifact_id: str,
     *,
-    scale: Optional[float] = None,
+    scale: Union[None, float, str] = None,
     seed: Optional[int] = None,
     seeds: Optional[Sequence[int]] = None,
     workers: int = 1,
@@ -93,8 +94,11 @@ def run(
     artifact_id:
         An id from :func:`list_artifacts`.
     scale:
-        Size scale in (0, 1]; defaults to the artifact's
-        ``default_scale`` (1.0, the paper's configuration).
+        Size scale — a number or a profile name from
+        :data:`repro.scenarios.factory.SCALE_PROFILES` (``"paper"`` = 1.0,
+        ``"xl"`` = 20× → N=10⁴ snapshots on the sparse ``DistanceView``
+        substrate).  Defaults to the artifact's ``default_scale`` (1.0,
+        the paper's configuration).
     seed:
         Root seed for the single-seed (paper-exact) artifact; defaults
         to the artifact's ``default_seeds[0]`` (0).  Mutually exclusive

@@ -13,9 +13,10 @@ reduces the store back into an
 Everything resolves ids here: :func:`repro.api.run`, ``python -m
 repro.experiments`` / ``card-repro`` (via the experiment registry, whose
 entries are these artifacts' ``run`` methods), and ``python -m
-repro.campaign figure``.  The legacy per-figure loops in
-:mod:`repro.experiments.legacy` are *not* registered — they survive only
-as ``pytest -m parity`` oracles.
+repro.campaign figure``.  Output stability is enforced by the pinned
+golden fixtures under ``tests/golden/`` (``pytest -m parity``) — the
+legacy per-figure oracle loops were deleted once the campaign path had
+baked.
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ from repro.campaign import figures
 from repro.campaign.runner import CampaignReport, CampaignRunner
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
+from repro.scenarios.factory import resolve_scale
 
 __all__ = [
     "Artifact",
@@ -93,9 +95,11 @@ class Artifact:
         The scale profile and root seed a bare ``run()``/``spec()``
         uses (applied when the caller passes neither) — the paper's own
         configuration.
-    has_oracle:
-        Whether a legacy oracle exists in ``repro.experiments.legacy``
-        (drives the parity matrix; campaign-native artifacts have none).
+    multi_seed:
+        True for artifacts whose spec intentionally spans several seeds
+        and whose reducer aggregates over them (the registered mean ± CI
+        variants, e.g. ``fig07_ci``).  Single-seed artifacts keep the
+        bit-for-bit guard that rejects multi-seed specs.
     """
 
     id: str
@@ -109,7 +113,7 @@ class Artifact:
     defaults: Mapping[str, object] = field(default_factory=dict)
     default_scale: float = 1.0
     default_seeds: Tuple[int, ...] = (0,)
-    has_oracle: bool = True
+    multi_seed: bool = False
 
     def __post_init__(self) -> None:
         if self.regime not in ("snapshot", "series"):
@@ -127,6 +131,9 @@ class Artifact:
     def _resolve_kwargs(self, kwargs: Mapping[str, object]) -> Dict[str, object]:
         merged = {**self.defaults, **kwargs}
         merged.setdefault("scale", self.default_scale)
+        # named profiles ("xl", "paper") resolve to numbers here, so every
+        # spec builder keeps seeing a plain float
+        merged["scale"] = resolve_scale(merged["scale"])
         merged.setdefault("seed", self.default_seeds[0])
         build = _accepted(self.build_spec)
         reduce_ = _accepted(self.reduce)
@@ -178,9 +185,11 @@ class Artifact:
         """
         merged = self._resolve_kwargs(kwargs)
         spec = self.build_spec(**_filtered(self.build_spec, merged))
-        # fail before paying for the sweep: every registered reducer is
-        # exact (single-seed); averaging is the facade's seeds= job
-        figures.require_single_seed(spec)
+        if not self.multi_seed:
+            # fail before paying for the sweep: single-seed reducers are
+            # exact; averaging is the facade's seeds= job (or a
+            # registered multi_seed artifact like fig07_ci)
+            figures.require_single_seed(spec)
         if store is None:
             store = ResultStore(None)
         report = CampaignRunner(spec, store=store, n_workers=n_workers).run(
@@ -425,7 +434,26 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.mobility_rate_spec,
             figures.reduce_mobility_rate,
             description="Link churn, overhead and substrate refresh vs speed",
-            has_oracle=False,
+        ),
+        _snapshot(
+            "fig07_ci",
+            "Fig 7 (CI) — Reachability vs NoC, mean ± 95% CI over seeds",
+            "§IV.A, Fig 7 (multi-seed extension)",
+            figures.fig07_ci_spec,
+            figures.reduce_fig07_ci,
+            description="Fig 7's sweep × seeds, group-reduced to mean ± CI",
+            default_seeds=figures.DEFAULT_CI_SEEDS,
+            multi_seed=True,
+        ),
+        _snapshot(
+            "table1_ci",
+            "Table 1 (CI) — Scenario statistics, mean ± 95% CI over seeds",
+            "§IV, Table 1 (multi-seed extension)",
+            figures.table1_ci_spec,
+            figures.reduce_table1_ci,
+            description="Table 1 × seeds, per-scenario mean ± CI",
+            default_seeds=figures.DEFAULT_CI_SEEDS,
+            multi_seed=True,
         ),
     )
 }

@@ -1,9 +1,9 @@
-"""Table assembly shared by the campaign reducers and the legacy oracles.
+"""Table assembly shared by every campaign reducer.
 
 Every paper artifact is ultimately a table (plus ASCII plots), and both
 producers of an artifact — the campaign-first reducer in
 :mod:`repro.campaign.figures` and the legacy parity oracle in
-:mod:`repro.experiments.legacy` — must emit the *same* table
+the historical per-figure loops — must emit the *same* table
 bit-for-bit.  The row/header/plot assembly therefore lives here, once,
 below both layers: a reducer feeds it values out of the JSONL result
 store, an oracle feeds it values straight from its in-process loop, and
@@ -83,7 +83,7 @@ def pm_em_table(
 
     ``pm``/``em`` are ``(noc, mean_reach, fwd, back)`` rows as produced by
     :meth:`SnapshotRunner.sweep_noc` — shared by the campaign reducer and
-    the legacy oracle, so both paths emit identical artifacts.
+    the historical runners, so the artifact output never drifted.
     """
     headers = [
         "NoC",
@@ -202,7 +202,7 @@ def series_table(
     """Assemble a per-bin series table (the Figs 10-12 template).
 
     ``series_by_label`` maps curve label → one value per bin; this is
-    shared by the legacy oracles (values straight from
+    shared by the historical runners (values straight from
     :class:`TimeSeriesResult`) and the campaign reducers (values out of
     the JSONL store), so both paths emit identical artifacts.
     """
@@ -446,7 +446,7 @@ def table1_notes(scale: float) -> List[str]:
 # ablations
 # ----------------------------------------------------------------------
 #: (label, CARDParams overrides) per admission variant — the campaign
-#: reducer and the legacy oracle both sweep exactly these configs.
+#: reducer sweeps exactly these configs (pinned by the golden matrix).
 PM_EQ_VARIANTS = (
     ("PM eq.1", {"method": "PM", "pm_equation": 1}),
     ("PM eq.2", {"method": "PM", "pm_equation": 2}),

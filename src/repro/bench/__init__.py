@@ -1,16 +1,25 @@
 """``card-bench`` — the machine-readable performance-regression harness.
 
-Every scaling PR changes the cost trajectory of the same two hot paths:
+Every scaling PR changes the cost trajectory of the same hot paths:
 
 * **substrate** — cold neighborhood build (bounded frontier products vs
   the seed's all-pairs matrix) and single-source BFS, swept over N;
 * **mobility** — the per-step neighborhood refresh under random-waypoint
   movement: the incremental path (bounded BFS only for touched sources)
-  vs recomputing from scratch vs the seed APSP-per-step behavior.
+  vs recomputing from scratch vs the seed APSP-per-step behavior;
+* **sparse** — the CSR membership backend vs the dense band at
+  N ∈ {1k, 5k, 10k}: bit-identical answers, O(N·ball) memory instead of
+  O(N²) (the ratio is the gated "speedup" — it is machine-independent);
+* **xl** — one N=10⁴ snapshot artifact (``fig07`` at the ``xl`` scale
+  profile) built end-to-end through ``repro.api`` on the sparse
+  ``DistanceView`` substrate, with peak memory reported.  The seed-era
+  implementation (full int32 APSP per epoch, ~800 MB at N=10⁴ before
+  counting membership copies) could not run this case at all; the gated
+  ratio is sparse-vs-dense peak memory on the identical workload.
 
-``card-bench run`` times both and emits ``BENCH_substrate.json`` /
-``BENCH_mobility.json`` with wall-times, speedup ratios, per-case peak
-traced allocations and the process peak RSS, so the perf trajectory is a
+``card-bench run`` times everything and emits one ``BENCH_<name>.json``
+per bench with wall-times, speedup ratios, per-case peak traced
+allocations and the process peak RSS, so the perf trajectory is a
 diffable artifact tracked PR-over-PR.  ``card-bench compare`` checks a
 fresh run against the committed baselines: it compares **speedup ratios**
 (new path vs reference path, both measured on the same machine in the
@@ -61,6 +70,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "bench_substrate",
     "bench_mobility",
+    "bench_sparse",
+    "bench_xl",
     "write_report",
     "compare_reports",
 ]
@@ -278,6 +289,148 @@ def bench_mobility(
         "host": _host(),
         "peak_rss_kb": _peak_rss_kb(),
         "cases": cases,
+    }
+
+
+# ----------------------------------------------------------------------
+# sparse backend: dense vs CSR membership over an N sweep
+# ----------------------------------------------------------------------
+def bench_sparse(
+    *,
+    sizes: Sequence[int] = (1000, 5000, 10000),
+    radius: int = 3,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Dense band vs sparse CSR membership backend at large N.
+
+    Both backends are built cold and their membership matrices derived;
+    answers are cross-checked on a probe subset so the bench can never
+    report a win for wrong numbers.  The gated ``speedup`` is the
+    **memory ratio** (dense representation bytes / sparse representation
+    bytes) — deterministic and machine-independent, unlike wall-clock at
+    these sizes.
+    """
+    from repro.net.substrate import DistanceSubstrate
+
+    cases: List[Dict[str, object]] = []
+    for n in sizes:
+        topo = _topology(int(n))
+        _ = topo.adj
+
+        def build(kind: str):
+            sub = DistanceSubstrate(topo, radius, backend=kind)
+            member = sub.membership(radius)
+            return sub, member
+
+        dense_s, dense_mem_peak, (dense_sub, dense_member) = _timed(
+            lambda: build("dense"), 1
+        )
+        sparse_s, sparse_mem_peak, (sparse_sub, sparse_member) = _timed(
+            lambda: build("sparse"), 1
+        )
+
+        # parity probe: band rows + membership rows on a source sample
+        probe = np.linspace(0, n - 1, num=min(64, n), dtype=np.int64)
+        for u in probe:
+            u = int(u)
+            if not (
+                dense_sub._fresh_band().row_within(u, radius)
+                == sparse_sub._fresh_band().row_within(u, radius)
+            ).all() or not (dense_member[u] == sparse_member[u]).all():
+                raise AssertionError(  # pragma: no cover - parity guard
+                    f"sparse backend diverged from dense at N={n}, u={u}"
+                )
+
+        dense_bytes = dense_sub.band_bytes() + int(dense_member.nbytes)
+        sparse_bytes = sparse_sub.band_bytes() + int(sparse_member.nbytes)
+        cases.append(
+            {
+                "name": f"membership_backend_n{n}",
+                "n": int(n),
+                "radius": int(radius),
+                "reference_seconds": dense_s,
+                "candidate_seconds": sparse_s,
+                "reference_bytes": int(dense_bytes),
+                "candidate_bytes": int(sparse_bytes),
+                "reference_peak_bytes": int(dense_mem_peak),
+                "candidate_peak_bytes": int(sparse_mem_peak),
+                # the gated ratio: representation memory, not seconds
+                "speedup": (
+                    dense_bytes / sparse_bytes if sparse_bytes else float("inf")
+                ),
+                "speedup_metric": "bytes",
+            }
+        )
+    return {
+        "bench": "sparse",
+        "schema_version": SCHEMA_VERSION,
+        "quick": bool(quick),
+        "host": _host(),
+        "peak_rss_kb": _peak_rss_kb(),
+        "cases": cases,
+    }
+
+
+# ----------------------------------------------------------------------
+# xl smoke: one N=10^4 snapshot artifact end-to-end
+# ----------------------------------------------------------------------
+def bench_xl(*, quick: bool = False, num_sources: Optional[int] = None) -> Dict[str, object]:
+    """Build ``fig07`` at the ``xl`` scale profile (N=10⁴) end-to-end.
+
+    Candidate: the normal path (sparse backend auto-selected above the
+    node threshold).  Reference: the identical workload with the dense
+    band forced, which is what the pre-sparse build would have done —
+    the seed-era APSP implementation is not even measurable here (an
+    int32 all-pairs matrix alone is ~400 MB at N=10⁴, rebuilt per
+    epoch).  The gated ``speedup`` is the peak-traced-memory ratio on
+    the same workload; wall times and the process peak RSS are recorded
+    alongside (the acceptance observable for "runs where the seed code
+    could not").
+    """
+    import repro.api as api
+    from repro.net import substrate as substrate_mod
+    from repro.scenarios.factory import SCALE_PROFILES, scaled
+
+    sources = int(num_sources) if num_sources is not None else (8 if quick else 24)
+    kwargs = dict(scale="xl", num_sources=sources, noc_values=(4,))
+    n = scaled(500, SCALE_PROFILES["xl"])
+
+    def run_artifact():
+        return api.run("fig07", **kwargs)
+
+    sparse_s, sparse_peak, result = _timed(run_artifact, 1)
+    # force the dense band on the identical workload (reference mode)
+    threshold = substrate_mod.SPARSE_NODE_THRESHOLD
+    substrate_mod.SPARSE_NODE_THRESHOLD = n + 1
+    try:
+        dense_s, dense_peak, dense_result = _timed(run_artifact, 1)
+    finally:
+        substrate_mod.SPARSE_NODE_THRESHOLD = threshold
+    if dense_result.rows != result.rows:  # pragma: no cover - parity guard
+        raise AssertionError("xl artifact differs between backends")
+
+    mean_row = [r for r in result.rows if r[0] == "mean%"]
+    case = {
+        "name": f"fig07_xl_n{n}",
+        "n": int(n),
+        "num_sources": sources,
+        "reference_seconds": dense_s,
+        "candidate_seconds": sparse_s,
+        "reference_peak_bytes": int(dense_peak),
+        "candidate_peak_bytes": int(sparse_peak),
+        "speedup": (dense_peak / sparse_peak) if sparse_peak else float("inf"),
+        "speedup_metric": "peak_bytes",
+        "mean_reachability": (
+            float(mean_row[0][1]) if mean_row else None
+        ),
+    }
+    return {
+        "bench": "xl",
+        "schema_version": SCHEMA_VERSION,
+        "quick": bool(quick),
+        "host": _host(),
+        "peak_rss_kb": _peak_rss_kb(),
+        "cases": [case],
     }
 
 

@@ -26,29 +26,36 @@ from typing import Optional
 
 from repro.bench import (
     bench_mobility,
+    bench_sparse,
     bench_substrate,
+    bench_xl,
     compare_reports,
     write_report,
 )
 
 __all__ = ["main"]
 
+#: Every bench the harness runs and gates, in execution order.
+BENCHES = ("substrate", "mobility", "sparse", "xl")
+
 #: Reduced sweep for CI: a strict subset of the full sweep so a quick run
 #: gates against committed full baselines on the intersecting case names,
 #: while staying small enough for a smoke job.
 QUICK_SIZES_SUBSTRATE = (250, 500)
 QUICK_SIZES_MOBILITY = (500,)
+QUICK_SIZES_SPARSE = (1000,)
 FULL_SIZES_SUBSTRATE = (250, 500, 1000)
 FULL_SIZES_MOBILITY = (500, 1000)
+FULL_SIZES_SPARSE = (1000, 5000, 10000)
 
 
 def _cmd_run(args) -> int:
     quick = bool(args.quick)
     out = Path(args.out)
     if quick:
-        # never let a reduced sweep clobber full baselines: the N=1000
+        # never let a reduced sweep clobber full baselines: the larger-N
         # cases would silently vanish from the regression gate
-        for bench in ("substrate", "mobility"):
+        for bench in BENCHES:
             existing = _load_report(out, bench)
             if existing is not None and not existing.get("quick", False):
                 print(
@@ -60,6 +67,7 @@ def _cmd_run(args) -> int:
                 return 1
     sub_sizes = QUICK_SIZES_SUBSTRATE if quick else FULL_SIZES_SUBSTRATE
     mob_sizes = QUICK_SIZES_MOBILITY if quick else FULL_SIZES_MOBILITY
+    sparse_sizes = QUICK_SIZES_SPARSE if quick else FULL_SIZES_SPARSE
     repeats = 2 if quick else 3
     steps = 5 if quick else 10
 
@@ -85,6 +93,32 @@ def _cmd_run(args) -> int:
             f"({case['speedup']:.1f}x, "
             f"mean churn {case['mean_changed_nodes']:.1f} nodes)"
         )
+
+    print(f"card-bench: sparse backend sweep N={list(sparse_sizes)} ...", flush=True)
+    sparse = bench_sparse(sizes=sparse_sizes, quick=quick)
+    path = write_report(sparse, out)
+    print(f"wrote {path}")
+    for case in sparse["cases"]:
+        print(
+            f"  {case['name']}: dense {case['reference_bytes'] / 1e6:.1f} MB, "
+            f"CSR {case['candidate_bytes'] / 1e6:.1f} MB "
+            f"({case['speedup']:.1f}x smaller; build "
+            f"{case['reference_seconds'] * 1e3:.0f} -> "
+            f"{case['candidate_seconds'] * 1e3:.0f} ms)"
+        )
+
+    print("card-bench: xl smoke (fig07 at N=10^4, end to end) ...", flush=True)
+    xl = bench_xl(quick=quick)
+    path = write_report(xl, out)
+    print(f"wrote {path}")
+    for case in xl["cases"]:
+        print(
+            f"  {case['name']}: completed in {case['candidate_seconds']:.1f}s, "
+            f"peak traced {case['candidate_peak_bytes'] / 1e6:.1f} MB "
+            f"(dense reference {case['reference_peak_bytes'] / 1e6:.1f} MB, "
+            f"{case['speedup']:.1f}x); process peak RSS "
+            f"{(xl['peak_rss_kb'] or 0) / 1024:.0f} MB"
+        )
     return 0
 
 
@@ -100,7 +134,7 @@ def _cmd_compare(args) -> int:
     baseline_dir = Path(args.baseline)
     failures = []
     compared = 0
-    for bench in ("substrate", "mobility"):
+    for bench in BENCHES:
         current = _load_report(current_dir, bench)
         baseline = _load_report(baseline_dir, bench)
         if current is None:

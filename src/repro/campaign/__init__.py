@@ -22,7 +22,8 @@ objects instead of bespoke per-figure loops:
 * :mod:`repro.campaign.figures` — **every** registered artifact
   (Table 1, Figs 3-15, the ablations and extensions) expressed as a
   campaign spec builder + store reducer whose output is bit-identical
-  to its legacy oracle (enforced by ``pytest -m parity``); the
+  to the pinned golden fixtures under ``tests/golden/`` (enforced by
+  ``pytest -m parity``); the
   :mod:`repro.artifacts.registry` binds them into the
   :class:`~repro.artifacts.registry.Artifact` registry that the
   ``repro.api`` facade and the experiment CLI execute;

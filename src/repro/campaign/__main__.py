@@ -335,7 +335,11 @@ def main(argv: Optional[list] = None) -> int:
         help="JSONL result store (default: in-memory, nothing persisted)",
     )
     p_figure.add_argument("--workers", type=int, default=1, help="process-pool width")
-    p_figure.add_argument("--scale", type=float, default=1.0, help="size scale (0,1]")
+    p_figure.add_argument(
+        "--scale",
+        default="1.0",
+        help="size scale: a number or a profile name (paper, xl=20x)",
+    )
     p_figure.add_argument("--seed", type=int, default=0, help="root seed")
     p_figure.add_argument(
         "--sources", type=int, default=None, help="measured source sample size"

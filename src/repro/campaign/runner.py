@@ -56,6 +56,20 @@ from repro.util.rng import spawn_rng
 
 __all__ = ["CampaignRunner", "CampaignReport", "CellOutcome", "execute_cell"]
 
+#: Above this node count the ``topology``/``smallworld`` families switch
+#: their path-length statistics to the sampled no-APSP estimator
+#: (:func:`repro.net.graph.sample_pair_stats`); every default-scale
+#: configuration (N ≤ 1000) stays on the exact branch, so stored metrics
+#: and golden fixtures are unchanged.
+PAIR_STATS_THRESHOLD = 4096
+
+#: BFS sources the sampled estimator draws.
+PAIR_STATS_SAMPLE = 256
+
+
+def _pair_sample(num_nodes: int) -> Optional[int]:
+    return PAIR_STATS_SAMPLE if num_nodes >= PAIR_STATS_THRESHOLD else None
+
 
 # ----------------------------------------------------------------------
 def execute_cell(cell: CellSpec) -> Dict[str, object]:
@@ -109,7 +123,10 @@ def _execute_series(cell: CellSpec, topo: Topology) -> Dict[str, object]:
 def _execute_snapshot(cell: CellSpec, topo: Topology) -> Dict[str, object]:
     out: Dict[str, object] = {}
     if "topology" in cell.metrics:
-        st = topo.stats()
+        st = topo.stats(
+            pair_sample=_pair_sample(topo.num_nodes),
+            rng=spawn_rng(cell.seed, "pairstats"),
+        )
         out.update(
             num_nodes=st.num_nodes,
             num_links=st.num_links,
@@ -178,7 +195,14 @@ def _smallworld_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
     sources = sample_sources(topo.num_nodes, cell.num_sources, cell.seed)
     card = CARDProtocol(Network(topo), params, seed=cell.seed)
     card.bootstrap()
-    rep = smallworld_report(topo.adj, card.membership, card.contact_tables, sources)
+    rep = smallworld_report(
+        topo.adj,
+        card.membership,
+        card.contact_tables,
+        sources,
+        pair_sample=_pair_sample(topo.num_nodes),
+        rng=spawn_rng(cell.seed, "pairstats"),
+    )
     return {
         "clustering": float(rep.clustering),
         "path_length": float(rep.path_length),

@@ -13,7 +13,11 @@ without specifying an order; we implement three policies, all GPS-free
   metric*: each launch picks the edge node maximizing the minimum hop
   distance to every edge already used for a successful contact.
   Intuition: contacts end up on geographically distinct sides of the
-  source without any coordinates;
+  source without any coordinates.  Ranking reads the tables'
+  ``contact_view`` (the 2R-horizon band) — edge nodes of one source are
+  pairwise at most 2R apart (both sit exactly R hops from the source),
+  so the bounded band answers every separation exactly and no all-pairs
+  matrix is ever consulted;
 * **DEGREE** — prefer high-degree edges (walks entering dense regions
   find non-overlapping candidates faster, at the risk of clustering all
   contacts in the dense part of the field).
@@ -62,21 +66,26 @@ def order_edges(
         order = np.lexsort((jitter, [-d for d in degrees]))
         return [edges[int(i)] for i in order]
     if policy is EdgePolicy.SPREAD:
-        # farthest-point sampling seeded by a random edge
+        # farthest-point sampling seeded by a random edge; separations
+        # come from the 2R contact band (exact for edge-edge pairs)
         out = [edges[int(rng.integers(len(edges)))]]
         remaining = [e for e in edges if e != out[0]]
-        dist = tables.distances
+        view = tables.contact_view
         while remaining:
             best = max(
                 remaining,
-                key=lambda e: min(
-                    (int(dist[e, u]) if dist[e, u] >= 0 else 10**6) for u in out
-                ),
+                key=lambda e: min(_separation(view, e, u) for u in out),
             )
             out.append(best)
             remaining.remove(best)
         return out
     raise ValueError(f"unknown edge policy {policy!r}")
+
+
+def _separation(view, a: int, b: int) -> int:
+    """Band-scoped hop distance, with out-of-band pairs pushed to "far"."""
+    h = view.hops(a, b)
+    return int(h) if h >= 0 else 10**6
 
 
 def next_edge(
@@ -98,15 +107,12 @@ def next_edge(
         return None
     if policy is not EdgePolicy.SPREAD or not used_for_contacts:
         return int(ordered[attempt % len(ordered)])
-    dist = tables.distances
+    view = tables.contact_view
     candidates = [e for e in ordered if e not in used_for_contacts]
     if not candidates:
         return int(ordered[attempt % len(ordered)])
 
     def separation(e: int) -> int:
-        return min(
-            (int(dist[e, u]) if dist[e, u] >= 0 else 10**6)
-            for u in used_for_contacts
-        )
+        return min(_separation(view, e, u) for u in used_for_contacts)
 
     return int(max(candidates, key=separation))

@@ -141,20 +141,20 @@ class SnapshotRunner:
         source's.
 
         Overlap means true hop distance <= 2R (the geometric condition
-        Fig 1 illustrates); the Edge Method is designed to drive this to
-        zero.  Used by the overlap ablations (and the campaign ``overlap``
-        metric family); needs the full APSP matrix, so it is not computed
-        by default.
+        Fig 1 illustrates) — which is exactly "inside the 2R band", so
+        the check reads the 2R-horizon :class:`DistanceView` (shared
+        incremental substrate) instead of an all-pairs matrix.  The Edge
+        Method is designed to drive this to zero.  Used by the overlap
+        ablations (and the campaign ``overlap`` metric family); not
+        computed by default.
         """
-        dist = self.protocol.tables.distances
-        R2 = 2 * self.params.R
+        view = self.protocol.tables.contact_view
         total = 0
         overlapping = 0
         for s, table in self.protocol.contact_tables.items():
             for c in table:
                 total += 1
-                d = int(dist[s, c.node])
-                if 0 <= d <= R2:
+                if view.hops(s, c.node) >= 0:
                     overlapping += 1
         return overlapping / total if total else 0.0
 

@@ -15,7 +15,9 @@ Passing ``store=``/``n_workers=`` reuses a warm JSONL result store and
 fans cells out over a process pool.
 
 The pre-flip per-figure loops survive in
-:mod:`repro.experiments.legacy` solely as ``pytest -m parity`` oracles.
+``repro.experiments.legacy`` as one-time parity oracles — since
+deleted; ``pytest -m parity`` now compares against the pinned golden
+fixtures under ``tests/golden/``.
 """
 
 from repro.experiments.base import ExperimentResult, standard_topology

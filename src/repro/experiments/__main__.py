@@ -15,6 +15,14 @@ Run everything quickly (CI smoke)::
 
     python -m repro.experiments all --scale 0.3 --sources 40
 
+Mean ± 95 % CI over several seeds (the facade's multi-seed path)::
+
+    python -m repro.experiments fig07 --seeds 0,1,2
+
+An N=10⁴ snapshot through the sparse ``DistanceView`` substrate::
+
+    python -m repro.experiments fig07 --scale xl --sources 30
+
 List available experiment ids::
 
     python -m repro.experiments --list
@@ -28,6 +36,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.api import run as api_run
 from repro.artifacts.registry import ARTIFACTS
 from repro.campaign.store import ResultStore
 from repro.experiments.registry import (
@@ -35,6 +44,7 @@ from repro.experiments.registry import (
     EXPERIMENTS,
     get_experiment,
 )
+from repro.scenarios.factory import resolve_scale
 
 #: what the CLI lists and "all" iterates: the artifact registry's
 #: primary ids, in registration order (EXPERIMENTS additionally carries
@@ -60,14 +70,26 @@ def main(argv=None) -> int:
         "or 'all'",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
-    parser.add_argument("--scale", type=float, default=1.0, help="size scale (0,1]")
+    parser.add_argument(
+        "--scale",
+        default="1.0",
+        help="size scale: a number or a profile name (paper, xl=20x -> N=10^4)",
+    )
     parser.add_argument(
         "--sources",
         type=int,
         default=None,
         help="measure a random sample of this many source nodes (default all)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--seed", type=int, default=None, help="root seed (default 0)"
+    )
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated root seeds (e.g. 0,1,2): run the sweep once "
+        "per seed and report mean ± 95%% CI via the repro.api facade",
+    )
     parser.add_argument(
         "--duration",
         type=float,
@@ -92,11 +114,37 @@ def main(argv=None) -> int:
         return 0
 
 
+def _parse_seeds(text: str):
+    """``"0,1,2"`` → (0, 1, 2), with the CLI's friendly-error treatment."""
+    try:
+        seeds = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ValueError(
+            f"--seeds expects comma-separated integers (e.g. 0,1,2), "
+            f"got {text!r}"
+        ) from None
+    if not seeds:
+        raise ValueError(f"--seeds expects at least one seed, got {text!r}")
+    return seeds
+
+
 def _run(args) -> int:
     if args.list or not args.exp_id:
         for exp_id in PRIMARY_IDS:
             print(exp_id)
         return 0
+
+    try:
+        scale = resolve_scale(args.scale)
+        seeds = _parse_seeds(args.seeds) if args.seeds is not None else None
+        if seeds is not None and args.seed is not None:
+            raise ValueError(
+                "pass either --seed (exact artifact) or --seeds (mean±CI), "
+                "not both"
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     if args.exp_id == "all":
         # derived experiments re-derive another artifact; produce each once
@@ -108,17 +156,37 @@ def _run(args) -> int:
         ids = [args.exp_id]
     store = ResultStore(Path(args.store)) if args.store else None
     for exp_id in ids:
-        fn = get_experiment(exp_id)
-        kwargs = {"scale": args.scale, "seed": args.seed}
+        kwargs = {"scale": scale}
         if args.sources is not None:
             kwargs["num_sources"] = args.sources
         if args.duration is not None:
             kwargs["duration"] = args.duration
-        if store is not None:
-            kwargs["store"] = store
-        kwargs["n_workers"] = args.workers
         t0 = time.time()
-        result = fn(**kwargs)
+        if seeds is not None:
+            # the facade's multi-seed path: sweep × seeds → mean ± 95% CI
+            artifact_id = (
+                exp_id[: -len("_campaign")]
+                if exp_id.endswith("_campaign")
+                else exp_id
+            )
+            try:
+                result = api_run(
+                    artifact_id,
+                    seeds=seeds,
+                    workers=args.workers,
+                    store=store,
+                    **kwargs,
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        else:
+            fn = get_experiment(exp_id)
+            kwargs["seed"] = args.seed if args.seed is not None else 0
+            if store is not None:
+                kwargs["store"] = store
+            kwargs["n_workers"] = args.workers
+            result = fn(**kwargs)
         dt = time.time() - t0
         print(result.render())
         print(f"[{exp_id} finished in {dt:.1f}s]\n")

@@ -9,9 +9,9 @@
     * :func:`standard_topology` / :func:`scaled` / :func:`sample_sources`
       live in :mod:`repro.scenarios.factory`;
     * the per-figure runner loops that used to sit beside this module
-      (``exp_fig*``, ``exp_ablations``, …) are now parity oracles in
-      :mod:`repro.experiments.legacy` and emit a ``DeprecationWarning``
-      when invoked.
+      (``exp_fig*``, ``exp_ablations``, …) are gone: after two PRs as
+      ``repro.experiments.legacy`` parity oracles they were deleted in
+      favor of the pinned golden-output fixtures under ``tests/golden/``.
 
     New code should script against :mod:`repro.api` (``list_artifacts`` /
     ``describe`` / ``run``) or the :data:`repro.artifacts.registry.ARTIFACTS`

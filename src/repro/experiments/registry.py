@@ -4,9 +4,10 @@ Since the campaign-first flip, every id resolves to the corresponding
 :class:`~repro.artifacts.registry.Artifact`'s ``run`` method — execution
 goes through the campaign engine (content-hash cached, parallelisable,
 resumable; stores written before the flip stay warm because the cell
-schema is unchanged).  The legacy per-figure loops are **not** here —
-they live in :mod:`repro.experiments.legacy` purely as ``pytest -m
-parity`` oracles.
+schema is unchanged).  The legacy per-figure loops that once backed
+these ids are gone entirely: the ``pytest -m parity`` matrix now holds
+every artifact bit-for-bit equal to the pinned golden fixtures under
+``tests/golden/`` instead of to a second live implementation.
 
 ``<id>_campaign`` aliases are kept for pre-flip workflows; they are the
 *same* callables and are registered as derived so ``python -m

@@ -11,7 +11,9 @@ This package replaces the NS-2 substrate the paper used.  Its layers:
   connected components, diameter and mean-hop statistics — the
   quantities reported in the paper's Table 1;
 * :mod:`repro.net.substrate` — the shared, incrementally-maintained
-  bounded-distance engine every neighborhood consumer reads from;
+  bounded-distance engine and the horizon-scoped :class:`DistanceView`
+  API every distance consumer reads from (dense below, sparse CSR above
+  the node threshold);
 * :mod:`repro.net.messages` — typed control messages (CSQ, validation, DSQ,
   bordercast, flood) shared by CARD and the baselines;
 * :mod:`repro.net.stats` — the control-message accounting that every figure
@@ -29,9 +31,17 @@ from repro.net.graph import (
     connected_components,
     graph_stats,
     GraphStats,
+    PairSampleStats,
+    sample_pair_stats,
     shortest_path,
 )
-from repro.net.substrate import DistanceSubstrate, SubstrateStats
+from repro.net.substrate import (
+    DistanceSubstrate,
+    DistanceView,
+    GlobalDistanceView,
+    SparseMembership,
+    SubstrateStats,
+)
 from repro.net.messages import (
     Message,
     MessageKind,
@@ -51,11 +61,16 @@ __all__ = [
     "bfs_tree",
     "bounded_hop_distances",
     "DistanceSubstrate",
+    "DistanceView",
+    "GlobalDistanceView",
+    "SparseMembership",
     "SubstrateStats",
     "hop_distance_matrix",
     "connected_components",
     "graph_stats",
     "GraphStats",
+    "PairSampleStats",
+    "sample_pair_stats",
     "shortest_path",
     "Message",
     "MessageKind",

@@ -47,6 +47,8 @@ __all__ = [
     "connected_components",
     "graph_stats",
     "GraphStats",
+    "PairSampleStats",
+    "sample_pair_stats",
     "shortest_path",
     "adjacency_to_csr",
 ]
@@ -230,8 +232,13 @@ def adjacency_to_csr(adj: Sequence[np.ndarray]) -> "csr_matrix":
 def hop_distance_matrix(adj: Sequence[np.ndarray]) -> np.ndarray:
     """All-pairs hop distances as an ``(N, N)`` int32 array (−1 unreachable).
 
-    Uses scipy's C BFS when available (the hot spot of every snapshot
-    experiment at N=1000); otherwise falls back to N pure-Python BFS runs.
+    **Test/bench oracle only.**  Since the ``DistanceView`` redesign no
+    runtime path materialises the all-pairs matrix: protocol code reads
+    horizon-scoped views (:meth:`repro.net.topology.Topology.distance_view`)
+    and global statistics are sampled (:func:`sample_pair_stats`).  The
+    only in-package consumer is the exact small-N branch of
+    :func:`graph_stats`; everything else lives in tests and the
+    ``card-bench`` reference (seed-era) timings.
     """
     n = len(adj)
     if n == 0:
@@ -293,13 +300,86 @@ class GraphStats:
         ]
 
 
-def graph_stats(adj: Sequence[np.ndarray]) -> GraphStats:
+@dataclass(frozen=True)
+class PairSampleStats:
+    """Sampled path-length statistics (the no-APSP estimator).
+
+    Produced by :func:`sample_pair_stats`: ``k`` sources are drawn
+    without replacement and one full BFS runs per source, so memory is
+    O(N) and work O(k·E) — never the O(N²) all-pairs matrix.  The
+    diameter is the *maximum observed* eccentricity (a lower bound that
+    converges quickly on spatial graphs); ``mean_hops`` is unbiased over
+    connected (sampled source, node) pairs.
+    """
+
+    mean_hops: float
+    #: max hop distance observed from any sampled source (diameter ≥ this)
+    diameter: int
+    num_sources: int
+    num_pairs: int
+
+
+def sample_pair_stats(
+    adj: Sequence[np.ndarray],
+    k: int,
+    rng: np.random.Generator,
+    *,
+    population: Optional[np.ndarray] = None,
+) -> PairSampleStats:
+    """Estimate mean hop distance and diameter from ``k`` BFS sources.
+
+    ``population`` restricts the source draw (e.g. to a connected
+    component); distances still run over the whole graph, and only
+    connected pairs (distance > 0) enter the statistics.
+    """
+    if k < 1:
+        raise ValueError("need at least one sampled source")
+    pool = (
+        np.arange(len(adj), dtype=np.int64)
+        if population is None
+        else np.asarray(population, dtype=np.int64)
+    )
+    if pool.size == 0:
+        return PairSampleStats(0.0, 0, 0, 0)
+    k = min(int(k), int(pool.size))
+    sources = pool[rng.choice(pool.size, size=k, replace=False)]
+    total = 0
+    pairs = 0
+    diameter = 0
+    for s in sources:
+        dist = bfs_hops(adj, int(s))
+        finite = dist[dist > 0]
+        if finite.size:
+            total += int(finite.sum())
+            pairs += int(finite.size)
+            diameter = max(diameter, int(finite.max()))
+    return PairSampleStats(
+        mean_hops=(total / pairs) if pairs else 0.0,
+        diameter=diameter,
+        num_sources=k,
+        num_pairs=pairs,
+    )
+
+
+def graph_stats(
+    adj: Sequence[np.ndarray],
+    *,
+    pair_sample: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> GraphStats:
     """Compute :class:`GraphStats` for an adjacency structure.
 
     Diameter and mean hops follow the paper's Table 1 reading: they are
     taken over the *largest connected component* (several of the paper's
     sparser scenarios — e.g. scenario 3 with mean degree 2.57 — cannot be
     fully connected, yet report a finite diameter).
+
+    ``pair_sample`` switches the path-length statistics to the sampled
+    estimator (:func:`sample_pair_stats` over ``pair_sample`` giant-
+    component sources) whenever the giant component is larger than the
+    sample — the N≫10³ regime where the exact all-pairs matrix would not
+    fit.  Small graphs always take the exact branch, so default-scale
+    artifacts are byte-identical with or without the knob.
     """
     n = len(adj)
     num_links = sum(len(a) for a in adj) // 2
@@ -310,11 +390,21 @@ def graph_stats(adj: Sequence[np.ndarray]) -> GraphStats:
     giant = comps[0]
     if len(giant) < 2:
         return GraphStats(n, num_links, mean_degree, 0, 0.0, len(giant), len(comps))
-    dist = hop_distance_matrix(adj)
-    sub = dist[np.ix_(giant, giant)]
-    finite = sub[sub > 0]
-    diameter = int(finite.max()) if finite.size else 0
-    mean_hops = float(finite.mean()) if finite.size else 0.0
+    if pair_sample is not None and len(giant) > int(pair_sample):
+        est = sample_pair_stats(
+            adj,
+            int(pair_sample),
+            rng if rng is not None else np.random.default_rng(0),
+            population=giant,
+        )
+        diameter = est.diameter
+        mean_hops = est.mean_hops
+    else:
+        dist = hop_distance_matrix(adj)
+        sub = dist[np.ix_(giant, giant)]
+        finite = sub[sub > 0]
+        diameter = int(finite.max()) if finite.size else 0
+        mean_hops = float(finite.mean()) if finite.size else 0.0
     return GraphStats(
         num_nodes=n,
         num_links=num_links,

@@ -1,38 +1,61 @@
-"""The shared, radius-bounded, incrementally-maintained distance substrate.
+"""The shared distance substrate and the horizon-scoped ``DistanceView`` API.
 
-Everything CARD measures — neighborhood membership, edge nodes, the
-``(2R, r]`` contact band, reachability unions — only needs hop distances up
-to a small horizon (R or 2R), yet the seed implementation recomputed the
-full N×N all-pairs matrix on every topology epoch bump.  A
-:class:`DistanceSubstrate` replaces that with:
+CARD's premise (§III.C of the paper) is that a node only ever needs
+knowledge *within a bounded horizon*: its R-hop zone for membership and
+edge nodes, and 2R for the contact-overlap checks.  Accordingly, the
+**only** way protocol and analysis code reads distances is through a
+:class:`DistanceView` obtained from
+:meth:`repro.net.topology.Topology.distance_view`:
 
-* a **band matrix** — ``(N, N)`` int8 of hop distances truncated at
-  ``horizon`` (−1 beyond), built by :func:`repro.net.graph.bounded_hop_distances`
-  (R sparse frontier products instead of all-pairs shortest paths);
-* **incremental maintenance** — after a mobility step the substrate asks
-  :meth:`repro.net.topology.Topology.diff` which nodes changed links and
-  recomputes bounded BFS **only for sources whose ≤horizon ball touches a
-  changed node** (in the old *or* the new graph — both are needed for
-  exactness, see :meth:`_incremental_update`); every other row is provably
-  unchanged, so the result is bit-identical to a cold rebuild;
-* **shared caches** — one substrate lives on the topology
-  (:meth:`repro.net.topology.Topology.substrate`), so every
-  :class:`~repro.routing.neighborhood.NeighborhoodTables`, the contact
-  selector, reachability, the DSQ engine and the snapshot sweeps all read
-  the same per-epoch membership matrix instead of re-deriving their own.
+* ``distance_view(horizon=R)`` — zone operations (membership, edge
+  nodes, intra-zone hop lookups);
+* ``distance_view(horizon=2 * R)`` — SPREAD edge ranking and the
+  overlap metric (a contact overlaps iff its true distance is ≤ 2R,
+  which is exactly "inside the 2R band");
+* ``distance_view(horizon=None)`` — a :class:`GlobalDistanceView` for
+  *explicitly sampled* global statistics
+  (:meth:`~GlobalDistanceView.sample_pair_stats`); it never materialises
+  an N×N matrix.  The all-pairs ``hop_distance_matrix`` survives only as
+  a test/bench oracle.
 
-The exact-parity fallback is structural: whenever the topology cannot
-answer ``diff`` (first build, ancient epoch, tracking disabled) or the
-change set is large enough that a fresh build is cheaper, the substrate
-performs a full bounded rebuild — same numbers, different wall-clock.
-``incremental=False`` forces that path everywhere (the parity suite and
-``card-bench`` use it as the reference).
+**Multi-horizon sharing** — one :class:`DistanceSubstrate` lives on each
+topology and keeps a single band at the *largest* horizon any view has
+requested.  A 2R view arriving after an R view grows the band in place
+(one full rebuild); both views then ride the same incrementally
+maintained band, and every derived membership matrix is cached per
+(epoch, radius) and shared by all consumers.
+
+**Backends** — the band has two bit-identical representations:
+
+* ``dense`` — an ``(N, N)`` int8 matrix (−1 beyond horizon), the
+  default below :data:`SPARSE_NODE_THRESHOLD` nodes;
+* ``sparse`` — per-source CSR rows holding only in-horizon entries
+  (``O(N · ball)`` memory instead of ``O(N²)``), selected automatically
+  above the threshold.  This is what unlocks N=10⁴ snapshots: at
+  N=10⁴/R=3 the rows hold a few million entries where the dense band
+  (let alone the seed's int32 APSP matrix) would not fit comfortably.
+  Membership matrices come back as a :class:`SparseMembership` — a CSR
+  (indptr/indices) structure that materialises boolean *rows* on demand
+  and therefore drops into every existing matrix consumer
+  (``member[u]``, ``member[u, ids]``, ``member[ids].any(axis=0)``).
+
+**Incremental maintenance** — after a mobility step the substrate asks
+:meth:`repro.net.topology.Topology.diff` which nodes changed links and
+recomputes bounded BFS only for sources whose ≤horizon ball touches a
+changed node (in the old *or* the new graph — both are needed for
+exactness, see :meth:`DistanceSubstrate._incremental_update`); every
+other row is provably unchanged, so the result is bit-identical to a
+cold rebuild.  The exact-parity fallback is structural: whenever the
+topology cannot answer ``diff`` or the change set is large, the
+substrate performs a full bounded rebuild — same numbers, different
+wall-clock.  ``incremental=False`` forces that path everywhere (the
+parity suite and ``card-bench`` use it as the reference).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,11 +64,27 @@ from repro.net import graph as g
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology owns us)
     from repro.net.topology import Topology
 
-__all__ = ["DistanceSubstrate", "SubstrateStats"]
+__all__ = [
+    "DistanceSubstrate",
+    "DistanceView",
+    "GlobalDistanceView",
+    "SparseMembership",
+    "SubstrateStats",
+    "SPARSE_NODE_THRESHOLD",
+]
 
 #: Incremental updates recomputing more than this fraction of all rows are
 #: not worth the bookkeeping; fall back to a full bounded rebuild.
 FULL_REBUILD_FRACTION = 0.5
+
+#: Node count at (and above) which the substrate keeps its band in the
+#: sparse CSR representation instead of a dense N×N matrix.  Chosen well
+#: above every default-scale configuration (N ≤ 1000), so paper-scale
+#: artifacts keep the exact arrays they always had.
+SPARSE_NODE_THRESHOLD = 2048
+
+#: Source rows recomputed per dense chunk when (re)building sparse bands.
+_ROW_CHUNK_BYTES = 1 << 22
 
 
 @dataclass
@@ -73,40 +112,318 @@ class SubstrateStats:
         }
 
 
+# ----------------------------------------------------------------------
+# membership views
+# ----------------------------------------------------------------------
+class SparseMembership:
+    """CSR boolean membership that materialises dense *rows* on demand.
+
+    Supports exactly the access patterns the protocol and analysis code
+    use on the dense matrix — ``m[u]``, ``m[ids]``, ``m[u, v]``,
+    ``m[u, ids]``, ``.shape`` — returning dense boolean rows, so it is a
+    drop-in for ``np.ndarray`` membership without ever holding N² bools.
+    """
+
+    __slots__ = ("indptr", "indices", "shape")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, n: int) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.shape = (n, n)
+
+    def row_ids(self, u: int) -> np.ndarray:
+        """Sorted member ids of row ``u`` (no densification)."""
+        return self.indices[self.indptr[u]: self.indptr[u + 1]]
+
+    def row(self, u: int) -> np.ndarray:
+        out = np.zeros(self.shape[0], dtype=bool)
+        out[self.row_ids(int(u))] = True
+        return out
+
+    def _rows(self, ids) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        out = np.zeros((ids.size, self.shape[0]), dtype=bool)
+        for i, u in enumerate(ids):
+            out[i, self.row_ids(int(u))] = True
+        return out
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple):
+            # scalar / per-id probes answer from the sorted id row directly
+            # (the selector's hottest membership check) — no densification
+            u, v = key
+            ids = self.row_ids(int(u))
+            if np.ndim(v) == 0:
+                i = int(np.searchsorted(ids, int(v)))
+                return bool(i < ids.size and int(ids[i]) == int(v))
+            v = np.asarray(v, dtype=np.int64)
+            pos = np.searchsorted(ids, v)
+            valid = pos < ids.size
+            out = np.zeros(v.shape, dtype=bool)
+            out[valid] = ids[pos[valid]] == v[valid]
+            return out
+        if np.ndim(key) == 0:
+            return self.row(int(key))
+        return self._rows(key)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.indptr.nbytes + self.indices.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SparseMembership(n={self.shape[0]}, nnz={self.nnz})"
+
+
+# ----------------------------------------------------------------------
+# band backends (bit-identical answers, different memory shapes)
+# ----------------------------------------------------------------------
+class _DenseBand:
+    """The ``(N, N)`` int8 band matrix (−1 beyond horizon)."""
+
+    kind = "dense"
+
+    def __init__(self, mat: np.ndarray) -> None:
+        self.mat = mat
+
+    @classmethod
+    def build(cls, adj, horizon: int, csr) -> "_DenseBand":
+        return cls(g.bounded_hop_distances(adj, horizon, csr=csr))
+
+    def set_rows(self, ids: np.ndarray, rows: np.ndarray) -> None:
+        self.mat[ids] = rows
+
+    def hops(self, u: int, v: int) -> int:
+        return int(self.mat[u, v])
+
+    def hops_many(self, u: int, ids: np.ndarray) -> np.ndarray:
+        return self.mat[u, ids]
+
+    def row_within(self, u: int, h: int) -> np.ndarray:
+        row = self.mat[u]
+        return np.flatnonzero((row >= 0) & (row <= h))
+
+    def row_ring(self, u: int, h: int) -> np.ndarray:
+        return np.flatnonzero(self.mat[u] == h)
+
+    def touched_by(self, changed: np.ndarray) -> np.ndarray:
+        return (self.mat[:, changed] != g.UNREACHABLE).any(axis=1)
+
+    def dense(self) -> np.ndarray:
+        return self.mat
+
+    def membership(self, radius: int):
+        return g.neighborhood_sets(self.mat, radius)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.mat.nbytes)
+
+
+class _SparseBand:
+    """Per-source CSR rows of in-horizon hop distances.
+
+    Rows are kept as (sorted ids, hops) array pairs so an incremental
+    refresh replaces exactly the recomputed rows in O(1) per row; every
+    query answers from one row without touching the rest of the matrix.
+    """
+
+    kind = "sparse"
+
+    def __init__(self, ids: List[np.ndarray], hops: List[np.ndarray]) -> None:
+        self._ids = ids
+        self._hops = hops
+
+    @classmethod
+    def build(cls, adj, horizon: int, csr) -> "_SparseBand":
+        n = len(adj)
+        ids: List[np.ndarray] = [None] * n  # type: ignore[list-item]
+        hops: List[np.ndarray] = [None] * n  # type: ignore[list-item]
+        out = cls(ids, hops)
+        out.set_rows(np.arange(n, dtype=np.int64), None, adj, horizon, csr)
+        return out
+
+    def set_rows(
+        self,
+        row_ids: np.ndarray,
+        rows: Optional[np.ndarray],
+        adj=None,
+        horizon: Optional[int] = None,
+        csr=None,
+    ) -> None:
+        """Replace ``row_ids``'s rows from a dense block (or recompute them
+        chunked from ``adj`` when ``rows`` is None, bounding peak memory)."""
+        if rows is not None:
+            self._ingest(row_ids, rows)
+            return
+        n = len(adj)
+        chunk = max(1, _ROW_CHUNK_BYTES // max(n, 1))
+        for start in range(0, row_ids.size, chunk):
+            part = row_ids[start: start + chunk]
+            block = g.bounded_hop_distances(adj, horizon, part, csr=csr)
+            self._ingest(part, block)
+
+    def _ingest(self, row_ids: np.ndarray, rows: np.ndarray) -> None:
+        for i, u in enumerate(row_ids):
+            row = rows[i]
+            members = np.flatnonzero(row != g.UNREACHABLE)
+            self._ids[int(u)] = members
+            self._hops[int(u)] = row[members]
+
+    def hops(self, u: int, v: int) -> int:
+        ids = self._ids[u]
+        i = int(np.searchsorted(ids, v))
+        if i < ids.size and int(ids[i]) == v:
+            return int(self._hops[u][i])
+        return g.UNREACHABLE
+
+    def hops_many(self, u: int, ids: np.ndarray) -> np.ndarray:
+        row_ids = self._ids[u]
+        out = np.full(ids.size, g.UNREACHABLE, dtype=self._hops[u].dtype)
+        pos = np.searchsorted(row_ids, ids)
+        valid = pos < row_ids.size
+        hit = np.zeros(ids.size, dtype=bool)
+        hit[valid] = row_ids[pos[valid]] == ids[valid]
+        out[hit] = self._hops[u][pos[hit]]
+        return out
+
+    def row_within(self, u: int, h: int) -> np.ndarray:
+        return self._ids[u][self._hops[u] <= h]
+
+    def row_ring(self, u: int, h: int) -> np.ndarray:
+        return self._ids[u][self._hops[u] == h]
+
+    def touched_by(self, changed: np.ndarray) -> np.ndarray:
+        # distances are symmetric (undirected links): a changed node c is
+        # within horizon of u  iff  u appears in c's row
+        n = len(self._ids)
+        mask = np.zeros(n, dtype=bool)
+        for c in changed:
+            mask[self._ids[int(c)]] = True
+        return mask
+
+    def dense(self) -> np.ndarray:
+        """Materialise the full band (test oracle / small-N paths only)."""
+        n = len(self._ids)
+        dtype = self._hops[0].dtype if n else np.int8
+        out = np.full((n, n), g.UNREACHABLE, dtype=dtype)
+        for u in range(n):
+            out[u, self._ids[u]] = self._hops[u]
+        return out
+
+    def membership(self, radius: int) -> SparseMembership:
+        n = len(self._ids)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        parts: List[np.ndarray] = []
+        for u in range(n):
+            members = self.row_within(u, radius)
+            parts.append(members)
+            indptr[u + 1] = indptr[u] + members.size
+        indices = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        return SparseMembership(indptr, indices, n)
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            sum(i.nbytes + h.nbytes for i, h in zip(self._ids, self._hops))
+        )
+
+
 @dataclass
 class _EpochCache:
     """Per-epoch derived views (cleared whenever the band changes)."""
 
-    membership: Dict[int, np.ndarray] = field(default_factory=dict)
+    membership: Dict[int, object] = field(default_factory=dict)
+    clipped_band: Dict[int, np.ndarray] = field(default_factory=dict)
 
 
+# ----------------------------------------------------------------------
+# the substrate
+# ----------------------------------------------------------------------
 class DistanceSubstrate:
-    """Radius-bounded hop distances for every node, kept fresh incrementally.
+    """Horizon-bounded hop distances for every node, kept fresh incrementally.
 
     Parameters
     ----------
     topology:
         The connectivity ground truth; its ``epoch`` counter keys freshness.
     horizon:
-        Maximum hop distance the band resolves (≥ 1).  Membership queries
-        for any radius ≤ horizon are served from the same band.
+        Maximum hop distance the band resolves (≥ 1).  Grows in place via
+        :meth:`ensure_horizon` when a larger view is requested; membership
+        queries for any radius ≤ horizon are served from the same band.
     incremental:
         When False every refresh is a full bounded rebuild (exact-parity
         reference mode).
+    backend:
+        ``"dense"`` | ``"sparse"`` | None (auto: sparse at and above
+        :data:`SPARSE_NODE_THRESHOLD` nodes).  Both backends answer every
+        query bit-identically — enforced by the backend property tests.
     """
 
     def __init__(
-        self, topology: "Topology", horizon: int, *, incremental: bool = True
+        self,
+        topology: "Topology",
+        horizon: int,
+        *,
+        incremental: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         if int(horizon) < 1:
             raise ValueError("horizon must be >= 1")
+        if backend not in (None, "dense", "sparse"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected dense | sparse | None"
+            )
         self.topology = topology
         self.horizon = int(horizon)
         self.incremental = bool(incremental)
+        self._backend_choice = backend
         self.stats = SubstrateStats()
         self._epoch = -1
-        self._band: Optional[np.ndarray] = None
+        self._band = None  # a _DenseBand or _SparseBand, None when stale
         self._cache = _EpochCache()
+
+    # ------------------------------------------------------------------
+    # backend + horizon management
+    # ------------------------------------------------------------------
+    @property
+    def backend_kind(self) -> str:
+        """Which band representation this substrate (will) use."""
+        if self._backend_choice is not None:
+            return self._backend_choice
+        return (
+            "sparse"
+            if self.topology.num_nodes >= SPARSE_NODE_THRESHOLD
+            else "dense"
+        )
+
+    def ensure_horizon(self, horizon: int) -> None:
+        """Grow the band's horizon in place (full rebuild on next access).
+
+        Shrinking never happens: smaller views clip the shared band, so an
+        R view and a 2R view ride the same incremental machinery.
+        """
+        horizon = int(horizon)
+        if horizon > self.horizon:
+            self.horizon = horizon
+            self._band = None
+            self._epoch = -1
+
+    def view(self, horizon: Optional[int] = None) -> "DistanceView":
+        """A :class:`DistanceView` clipped at ``horizon`` (default: full band).
+
+        Growing requests are honored by :meth:`ensure_horizon` first.
+        """
+        horizon = self.horizon if horizon is None else int(horizon)
+        if horizon < 1:
+            raise ValueError("view horizon must be >= 1")
+        self.ensure_horizon(horizon)
+        return DistanceView(self, horizon)
 
     # ------------------------------------------------------------------
     # freshness
@@ -122,7 +439,9 @@ class DistanceSubstrate:
             changed = topo.diff(self._epoch)
         n = topo.num_nodes
         if changed is None or changed.size > n * FULL_REBUILD_FRACTION:
-            self._band = g.bounded_hop_distances(adj, self.horizon)
+            csr = g.adjacency_to_csr(adj) if g._HAVE_SCIPY else None
+            backend = _SparseBand if self.backend_kind == "sparse" else _DenseBand
+            self._band = backend.build(adj, self.horizon, csr)
             self.stats.full_rebuilds += 1
         elif changed.size == 0:
             # epoch bumped (positions moved / liveness toggled) but no link
@@ -149,47 +468,64 @@ class DistanceSubstrate:
         assert band is not None
         csr = g.adjacency_to_csr(adj) if g._HAVE_SCIPY else None
         delta = g.bounded_hop_distances(adj, self.horizon, changed, csr=csr)
-        touched = (band[:, changed] != g.UNREACHABLE).any(axis=1)
+        touched = band.touched_by(changed)
         touched |= (delta != g.UNREACHABLE).any(axis=0)
-        band[changed] = delta
+        band.set_rows(changed, delta)
         touched[changed] = False  # their rows just landed via `delta`
         rest = np.flatnonzero(touched)
         if rest.size:
-            band[rest] = g.bounded_hop_distances(adj, self.horizon, rest, csr=csr)
+            if band.kind == "sparse":
+                band.set_rows(rest, None, adj, self.horizon, csr)
+            else:
+                band.set_rows(
+                    rest, g.bounded_hop_distances(adj, self.horizon, rest, csr=csr)
+                )
         self.stats.incremental_updates += 1
         self.stats.rows_recomputed += int(changed.size + rest.size)
 
     # ------------------------------------------------------------------
-    # views
+    # band + membership access (substrate-horizon scoped)
     # ------------------------------------------------------------------
     @property
     def epoch(self) -> int:
         return self._epoch
 
-    def band(self) -> np.ndarray:
-        """The ``(N, N)`` truncated distance matrix (−1 beyond horizon)."""
+    def _fresh_band(self):
         self.refresh()
         assert self._band is not None
         return self._band
 
-    def membership(self, radius: int) -> np.ndarray:
-        """Boolean ``(N, N)`` matrix of ``radius``-hop neighborhood membership.
+    def band(self) -> np.ndarray:
+        """The ``(N, N)`` truncated distance matrix (−1 beyond horizon).
 
-        Cached per epoch and shared by every consumer asking for the same
-        radius — selection, reachability, DSQ and the snapshot sweeps all
-        read one array.
+        For the sparse backend this *materialises* the dense matrix —
+        a test-oracle / small-N convenience, never the hot path.
+        """
+        return self._fresh_band().dense()
+
+    def band_bytes(self) -> int:
+        """Memory footprint of the current band representation."""
+        return self._fresh_band().nbytes
+
+    def membership(self, radius: int):
+        """Membership matrix at ``radius``: ``M[u, v]`` iff v within
+        ``radius`` hops of u (``M[u, u]`` is True).
+
+        Dense backend: a boolean ``(N, N)`` ndarray.  Sparse backend: a
+        :class:`SparseMembership` (same indexing surface).  Cached per
+        epoch and shared by every consumer asking for the same radius.
         """
         radius = int(radius)
         if radius > self.horizon:
             raise ValueError(
                 f"radius {radius} exceeds substrate horizon {self.horizon}"
             )
-        band = self.band()
+        band = self._fresh_band()
         cached = self._cache.membership.get(radius)
         if cached is not None:
             self.stats.membership_hits += 1
             return cached
-        member = g.neighborhood_sets(band, radius)
+        member = band.membership(radius)
         self._cache.membership[radius] = member
         self.stats.membership_builds += 1
         return member
@@ -201,14 +537,197 @@ class DistanceSubstrate:
             raise ValueError(
                 f"radius {radius} exceeds substrate horizon {self.horizon}"
             )
-        return np.flatnonzero(self.band()[u] == radius)
+        return self._fresh_band().row_ring(u, radius)
 
     def hops_within(self, u: int, v: int) -> int:
         """Hop distance ``u → v`` if ≤ horizon, else :data:`g.UNREACHABLE`."""
-        return int(self.band()[u, v])
+        return self._fresh_band().hops(u, v)
+
+    # ------------------------------------------------------------------
+    # sampled global statistics (the no-APSP path)
+    # ------------------------------------------------------------------
+    def sample_pair_stats(
+        self, k: int, rng: np.random.Generator
+    ) -> "g.PairSampleStats":
+        """Estimate global path-length statistics from ``k`` sampled
+        sources (full BFS per source — O(k·E), never O(N²) memory)."""
+        return g.sample_pair_stats(self.topology.adj, k, rng)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DistanceSubstrate(horizon={self.horizon}, epoch={self._epoch}, "
-            f"incremental={self.incremental})"
+            f"backend={self.backend_kind}, incremental={self.incremental})"
         )
+
+
+# ----------------------------------------------------------------------
+# the views
+# ----------------------------------------------------------------------
+class DistanceView:
+    """Horizon-scoped distance access — the only distance API consumers see.
+
+    A view clips the shared substrate band at its own ``horizon``: an R
+    view and a 2R view over one topology answer from the same
+    incrementally maintained band, each within its declared scope.
+    Beyond-horizon queries answer :data:`repro.net.graph.UNREACHABLE`
+    (−1) — by design there is no fallback to an all-pairs matrix.
+    """
+
+    __slots__ = ("substrate", "horizon")
+
+    def __init__(self, substrate: DistanceSubstrate, horizon: int) -> None:
+        self.substrate = substrate
+        self.horizon = int(horizon)
+
+    # -- scalar / vector hop queries -----------------------------------
+    def hops(self, u: int, v: int) -> int:
+        """Hop distance ``u → v`` if ≤ horizon, else ``UNREACHABLE``."""
+        h = self.substrate.hops_within(int(u), int(v))
+        return h if 0 <= h <= self.horizon else g.UNREACHABLE
+
+    def hops_many(self, u: int, ids) -> np.ndarray:
+        """Vectorized :meth:`hops` for one source and many targets."""
+        ids = np.asarray(ids, dtype=np.int64)
+        vals = self.substrate._fresh_band().hops_many(int(u), ids)
+        if self.horizon < self.substrate.horizon:
+            vals = np.where(
+                (vals >= 0) & (vals <= self.horizon), vals, g.UNREACHABLE
+            ).astype(vals.dtype)
+        return vals
+
+    # -- neighborhood queries ------------------------------------------
+    def members(self, u: int) -> np.ndarray:
+        """Ids within ``horizon`` hops of ``u`` (including ``u``), sorted."""
+        return self.substrate._fresh_band().row_within(int(u), self.horizon)
+
+    def within(self, u: int, h: int) -> np.ndarray:
+        """Ids within ``h`` ≤ horizon hops of ``u`` (including ``u``)."""
+        h = int(h)
+        if h > self.horizon:
+            raise ValueError(f"radius {h} exceeds view horizon {self.horizon}")
+        return self.substrate._fresh_band().row_within(int(u), h)
+
+    def ring(self, u: int, h: Optional[int] = None) -> np.ndarray:
+        """Ids at *exactly* ``h`` hops (default: the horizon — edge nodes)."""
+        h = self.horizon if h is None else int(h)
+        if h > self.horizon:
+            raise ValueError(f"radius {h} exceeds view horizon {self.horizon}")
+        return self.substrate._fresh_band().row_ring(int(u), h)
+
+    def contains(self, u: int, v: int) -> bool:
+        """True iff ``v`` lies within ``horizon`` hops of ``u``."""
+        return self.hops(u, v) != g.UNREACHABLE
+
+    def any_within(self, u: int, ids) -> bool:
+        """True iff any id of ``ids`` lies within ``horizon`` hops of ``u``."""
+        ids = np.asarray(list(ids) if not isinstance(ids, np.ndarray) else ids,
+                         dtype=np.int64)
+        if ids.size == 0:
+            return False
+        return bool((self.hops_many(u, ids) != g.UNREACHABLE).any())
+
+    # -- matrix views ---------------------------------------------------
+    def membership(self, radius: Optional[int] = None):
+        """Membership matrix at ``radius`` ≤ horizon (default: horizon)."""
+        radius = self.horizon if radius is None else int(radius)
+        if radius > self.horizon:
+            raise ValueError(
+                f"radius {radius} exceeds view horizon {self.horizon}"
+            )
+        return self.substrate.membership(radius)
+
+    def band(self) -> np.ndarray:
+        """The ``(N, N)`` band matrix clipped at this view's horizon.
+
+        Dense materialisation — a test-oracle / small-N convenience;
+        hot paths use the row/scalar queries above.
+        """
+        sub = self.substrate
+        if self.horizon >= sub.horizon and sub.backend_kind == "dense":
+            return sub.band()
+        sub.refresh()
+        cached = sub._cache.clipped_band.get(self.horizon)
+        if cached is not None:
+            return cached
+        full = sub.band()
+        clip = np.where(
+            (full >= 0) & (full <= self.horizon), full, g.UNREACHABLE
+        ).astype(full.dtype)
+        sub._cache.clipped_band[self.horizon] = clip
+        return clip
+
+    @property
+    def epoch(self) -> int:
+        return self.substrate.epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistanceView(horizon={self.horizon}, "
+            f"substrate_horizon={self.substrate.horizon})"
+        )
+
+
+class GlobalDistanceView:
+    """``distance_view(horizon=None)`` — sampled global statistics only.
+
+    The deliberate hole in this API is the point: there is no ``band()``
+    and no all-pairs matrix.  Global questions are answered per source
+    (one BFS, cached per epoch) or statistically
+    (:meth:`sample_pair_stats`), keeping every code path O(N · ball) or
+    O(k · E) instead of O(N²).
+    """
+
+    #: per-epoch BFS row cache bound (whole rows, so keep it small)
+    _ROW_CACHE_LIMIT = 256
+
+    def __init__(self, topology: "Topology") -> None:
+        self.topology = topology
+        self._epoch = -1
+        self._rows: Dict[int, np.ndarray] = {}
+
+    horizon: Optional[int] = None
+
+    def _row(self, u: int) -> np.ndarray:
+        u = int(u)
+        if self._epoch != self.topology.epoch:
+            self._rows.clear()
+            self._epoch = self.topology.epoch
+        row = self._rows.get(u)
+        if row is None:
+            row = g.bfs_hops(self.topology.adj, u)
+            if len(self._rows) >= self._ROW_CACHE_LIMIT:
+                self._rows.clear()
+            self._rows[u] = row
+        return row
+
+    def hops(self, u: int, v: int) -> int:
+        """Exact global hop distance via one cached single-source BFS."""
+        return int(self._row(u)[int(v)])
+
+    def hops_many(self, u: int, ids) -> np.ndarray:
+        return self._row(u)[np.asarray(ids, dtype=np.int64)]
+
+    def members(self, u: int) -> np.ndarray:
+        """Every node reachable from ``u`` (its connected component)."""
+        return np.flatnonzero(self._row(u) >= 0)
+
+    def within(self, u: int, h: int) -> np.ndarray:
+        row = self._row(u)
+        return np.flatnonzero((row >= 0) & (row <= int(h)))
+
+    def sample_pair_stats(
+        self, k: int, rng: np.random.Generator
+    ) -> "g.PairSampleStats":
+        """Path-length statistics estimated from ``k`` BFS sources."""
+        return g.sample_pair_stats(self.topology.adj, k, rng)
+
+    def band(self) -> np.ndarray:
+        raise RuntimeError(
+            "the global distance view never materialises an N×N matrix; "
+            "use sample_pair_stats(k, rng) for global statistics, a "
+            "bounded distance_view(horizon=...) for zone queries, or the "
+            "test oracle repro.net.graph.hop_distance_matrix"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalDistanceView(N={self.topology.num_nodes})"

@@ -7,10 +7,16 @@ A :class:`Topology` owns the ground truth the whole simulator works from:
 * ``adj`` — per-node sorted neighbor arrays, derived from the above.
 
 Mobility models mutate positions (through :meth:`set_positions`), which
-invalidates and lazily rebuilds the adjacency and any cached hop-distance
-matrix.  An ``epoch`` counter increments on every rebuild so higher layers
-(neighborhood tables, CARD state) can detect staleness without comparing
-arrays.
+invalidates and lazily rebuilds the adjacency.  An ``epoch`` counter
+increments on every rebuild so higher layers (neighborhood tables, CARD
+state) can detect staleness without comparing arrays.
+
+All distance access goes through :meth:`distance_view` — a horizon-
+scoped :class:`~repro.net.substrate.DistanceView` (R for zone
+operations, 2R for contact-overlap checks, ``horizon=None`` for sampled
+global statistics).  There is deliberately no all-pairs accessor on the
+topology: the former ``hop_distances()`` APSP matrix survives only as
+the test oracle :func:`repro.net.graph.hop_distance_matrix`.
 
 Two facilities support the incremental neighborhood substrate:
 
@@ -19,22 +25,23 @@ Two facilities support the incremental neighborhood substrate:
   changed is logged per epoch range; :meth:`diff` answers "which nodes
   changed since epoch E?" so consumers can recompute only what a mobility
   step actually touched;
-* a **shared substrate** — :meth:`substrate` hands out one
-  :class:`~repro.net.substrate.DistanceSubstrate` per topology, so every
-  neighborhood-table instance over this topology reads the same bounded
-  distance band instead of re-deriving its own.
+* a **shared substrate** — :meth:`substrate` keeps one
+  :class:`~repro.net.substrate.DistanceSubstrate` per topology that
+  grows its horizon in place, so every view over this topology (R zone
+  tables, 2R overlap checks, the DSQ engine, sweeps) reads the same
+  incrementally maintained band instead of re-deriving its own.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.net import graph as g
 from repro.net.spatial import build_unit_disk_edges
-from repro.net.substrate import DistanceSubstrate
+from repro.net.substrate import DistanceSubstrate, DistanceView, GlobalDistanceView
 from repro.util.validation import check_positive
 
 __all__ = ["Topology"]
@@ -104,7 +111,6 @@ class Topology:
         #: links (failure injection for the robustness experiments)
         self._active = np.ones(positions.shape[0], dtype=bool)
         self._adj: Optional[List[np.ndarray]] = None
-        self._dist: Optional[np.ndarray] = None
         # --- edge-delta tracking (lazy; enabled by the substrate) ---
         self._track_deltas = False
         self._prev_adj: Optional[List[np.ndarray]] = None
@@ -114,6 +120,7 @@ class Topology:
             maxlen=_CHANGE_LOG_LIMIT
         )
         self._substrate: Optional[DistanceSubstrate] = None
+        self._global_view: Optional[GlobalDistanceView] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -158,7 +165,6 @@ class Topology:
             raise ValueError("node count cannot change after construction")
         self._positions = np.array(positions, copy=True)
         self._adj = None
-        self._dist = None
         self.epoch += 1
 
     @property
@@ -212,7 +218,6 @@ class Topology:
             return
         self._active[u] = bool(alive)
         self._adj = None
-        self._dist = None
         self.epoch += 1
 
     def fail_nodes(self, nodes) -> None:
@@ -224,7 +229,6 @@ class Topology:
                 changed = True
         if changed:
             self._adj = None
-            self._dist = None
             self.epoch += 1
 
     # ------------------------------------------------------------------
@@ -265,36 +269,52 @@ class Topology:
 
         One substrate serves every consumer of this topology: a request
         with a smaller horizon reuses the existing band (membership at
-        radius r only needs horizon ≥ r), a larger one replaces it.
-        Creating the substrate enables delta tracking so mobility steps
-        can be applied incrementally.
+        radius r only needs horizon ≥ r), a larger one grows the band in
+        place — same substrate object, so all existing views keep riding
+        the shared incremental machinery.  Creating the substrate enables
+        delta tracking so mobility steps can be applied incrementally.
         """
         horizon = int(horizon)
-        if self._substrate is None or self._substrate.horizon < horizon:
+        if self._substrate is None:
             self.enable_delta_tracking()
             self._substrate = DistanceSubstrate(self, horizon)
+        else:
+            self._substrate.ensure_horizon(horizon)
         return self._substrate
 
     # ------------------------------------------------------------------
-    # derived graph quantities (cached per epoch)
+    # distance access (the DistanceView API)
     # ------------------------------------------------------------------
-    def hop_distances(self) -> np.ndarray:
-        """All-pairs hop distance matrix, cached until the next movement.
+    def distance_view(
+        self, horizon: Optional[int] = None
+    ) -> Union[DistanceView, GlobalDistanceView]:
+        """Horizon-scoped distance access — the only distance API.
 
-        This is the *global* matrix (Table 1 diameter, small-world
-        analysis, overlap ablations).  Protocol-path consumers should use
-        :meth:`substrate` / :meth:`neighborhood_matrix` instead — they
-        never pay the all-pairs cost.
+        * ``horizon=R`` — zone operations (membership, edge nodes,
+          intra-zone hop lookups);
+        * ``horizon=2R`` — contact-band operations (SPREAD edge ranking,
+          the overlap metric: "overlaps" ≡ "inside the 2R band");
+        * ``horizon=None`` — a :class:`~repro.net.substrate.GlobalDistanceView`
+          for explicitly *sampled* global statistics; it has no ``band()``
+          and never materialises an N×N matrix.
+
+        All bounded views over one topology share a single
+        :class:`~repro.net.substrate.DistanceSubstrate` whose band sits at
+        the largest horizon requested so far.
         """
-        if self._dist is None:
-            self._dist = g.hop_distance_matrix(self.adj)
-        return self._dist
+        if horizon is None:
+            if self._global_view is None:
+                self._global_view = GlobalDistanceView(self)
+            return self._global_view
+        return self.substrate(int(horizon)).view(int(horizon))
 
-    def neighborhood_matrix(self, radius: int) -> np.ndarray:
-        """Boolean ``(N, N)`` matrix of R-hop neighborhood membership.
+    def neighborhood_matrix(self, radius: int):
+        """R-hop neighborhood membership matrix (``M[u, v]`` iff within R).
 
-        Served by the radius-bounded substrate — no all-pairs matrix is
-        materialised.
+        Served by the radius-bounded substrate — dense boolean below the
+        sparse threshold, a row-materialising
+        :class:`~repro.net.substrate.SparseMembership` above it; no
+        all-pairs matrix either way.
         """
         return self.substrate(int(radius)).membership(int(radius))
 
@@ -307,9 +327,19 @@ class Topology:
     def degree(self, u: int) -> int:
         return len(self.adj[u])
 
-    def stats(self) -> g.GraphStats:
-        """Connectivity statistics (the Table 1 columns)."""
-        return g.graph_stats(self.adj)
+    def stats(
+        self,
+        *,
+        pair_sample: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> g.GraphStats:
+        """Connectivity statistics (the Table 1 columns).
+
+        ``pair_sample`` switches diameter/mean-hops to the sampled
+        no-APSP estimator when the giant component exceeds the sample —
+        see :func:`repro.net.graph.graph_stats`.
+        """
+        return g.graph_stats(self.adj, pair_sample=pair_sample, rng=rng)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

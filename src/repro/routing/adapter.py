@@ -13,8 +13,10 @@ Differences from the oracle that CARD must (and does) tolerate:
 
 * tables lag the real topology by up to one advertisement period;
 * ``path_within`` chases next-hops and can fail transiently;
-* ``distances`` only knows intra-zone metrics (−1 elsewhere), so the
-  membership matrix is exactly the zone knowledge, not global truth.
+* the learned metric matrix only knows intra-zone distances (−1
+  elsewhere), so the membership matrix — and the ``contact_view`` the
+  SPREAD edge policy ranks from — is exactly the zone knowledge, not
+  global truth.
 
 The integration tests verify that CARD-on-DSDV equals CARD-on-oracle on a
 converged static network.
@@ -26,9 +28,42 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.net import graph as g
 from repro.routing.dsdv import ScopedDSDV
 
 __all__ = ["DSDVNeighborhoodTables"]
+
+
+class _LearnedMatrixView:
+    """Minimal ``DistanceView``-shaped reader over a learned metric matrix.
+
+    Fills the ``contact_view`` slot of the tables interface for
+    protocol-learned state: values the protocol never learned (outside
+    the advertised zone) answer −1, exactly like the historical
+    ``distances`` matrix the edge policy used to read.
+    """
+
+    __slots__ = ("_dist", "horizon")
+
+    def __init__(self, dist: np.ndarray, horizon: int) -> None:
+        self._dist = dist
+        self.horizon = int(horizon)
+
+    def hops(self, u: int, v: int) -> int:
+        return int(self._dist[u, v])
+
+    def hops_many(self, u: int, ids) -> np.ndarray:
+        return self._dist[u, np.asarray(ids, dtype=np.int64)]
+
+    def contains(self, u: int, v: int) -> bool:
+        return int(self._dist[u, v]) != g.UNREACHABLE
+
+    def members(self, u: int) -> np.ndarray:
+        return np.flatnonzero(self._dist[u] >= 0)
+
+    def within(self, u: int, h: int) -> np.ndarray:
+        row = self._dist[u]
+        return np.flatnonzero((row >= 0) & (row <= int(h)))
 
 
 class DSDVNeighborhoodTables:
@@ -64,16 +99,22 @@ class DSDVNeighborhoodTables:
             self._cache_key = key
 
     @property
-    def distances(self) -> np.ndarray:
-        self._refresh()
-        assert self._dist is not None
-        return self._dist
-
-    @property
     def membership(self) -> np.ndarray:
         self._refresh()
         assert self._member is not None
         return self._member
+
+    @property
+    def contact_view(self) -> _LearnedMatrixView:
+        """Edge-ranking view over the protocol-learned metric matrix.
+
+        DSDV state never extends past the advertised zone, so distances
+        the protocol did not learn come back −1 (the SPREAD policy
+        treats them as "far"), mirroring the oracle's 2R band contract.
+        """
+        self._refresh()
+        assert self._dist is not None
+        return _LearnedMatrixView(self._dist, 2 * self.radius)
 
     # ------------------------------------------------------------------
     # NeighborhoodTables interface
@@ -95,7 +136,9 @@ class DSDVNeighborhoodTables:
 
     def zone_hops(self, u: int, ids) -> np.ndarray:
         """Vectorized intra-zone distances from the DSDV-learned matrix."""
-        return self.distances[u, np.asarray(ids, dtype=np.int64)]
+        self._refresh()
+        assert self._dist is not None
+        return self._dist[u, np.asarray(ids, dtype=np.int64)]
 
     def path_within(self, u: int, v: int) -> Optional[List[int]]:
         return self.dsdv.path_within(u, v)

@@ -1,4 +1,4 @@
-"""The neighborhood oracle: scoped-BFS realization of CARD's proactive zone.
+"""The neighborhood oracle: scoped realization of CARD's proactive zone.
 
 Per the paper (§III.C): "Each node proactively (using a protocol such as
 DSDV) maintains state for all the nodes in its neighborhood.  Therefore a
@@ -12,15 +12,19 @@ topology:
   through which CSQs are launched;
 * ``path_within(u, v)`` — a hop-optimal intra-zone route, the primitive
   behind local recovery and DSQ neighborhood lookups;
-* ``hops(u, v)`` — scoped hop distance.
+* ``hops(u, v)`` — R-scoped hop distance (−1 beyond the zone);
+* ``contact_view`` — the 2R-horizon :class:`~repro.net.substrate.DistanceView`
+  the SPREAD edge policy and the overlap metric rank from.
 
-All answers are served by the topology's shared
-:class:`~repro.net.substrate.DistanceSubstrate`: a radius-bounded band
-matrix maintained incrementally across mobility epochs, so a step that
-flips a handful of links recomputes bounded BFS only for the sources whose
-zone it touched — never the full all-pairs matrix.  Every tables instance
-over one topology (selector, maintainer, query engine, sweeps) reads the
-same per-epoch membership array.
+All answers are served by horizon-scoped views over the topology's shared
+:class:`~repro.net.substrate.DistanceSubstrate`: one incrementally
+maintained band (at the largest horizon any consumer requested) backs the
+R view and the 2R view alike, so a mobility step that flips a handful of
+links recomputes bounded BFS only for the sources whose zone it touched —
+never an all-pairs matrix.  There is deliberately no ``distances``
+matrix on this class any more: beyond-horizon questions are either
+scoped wrongly (fix the horizon) or global statistics (sample them via
+``topology.distance_view(horizon=None)``).
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.net import graph as g
-from repro.net.substrate import DistanceSubstrate
+from repro.net.substrate import DistanceSubstrate, DistanceView
 from repro.net.topology import Topology
 from repro.util.validation import check_int, check_positive
 
@@ -55,62 +59,72 @@ class NeighborhoodTables:
         self.radius = int(radius)
         # create (or join) the shared substrate up front so the first
         # mobility epoch already has a delta baseline
-        topology.substrate(self.radius)
+        self._view: DistanceView = topology.distance_view(self.radius)
 
     # ------------------------------------------------------------------
-    # freshness
+    # freshness / views
     # ------------------------------------------------------------------
     @property
     def substrate(self) -> DistanceSubstrate:
         """The topology-shared bounded-distance engine answering queries."""
-        return self.topology.substrate(self.radius)
+        return self._view.substrate
 
     @property
-    def distances(self) -> np.ndarray:
-        """*Global* all-pairs hop distances (−1 unreachable).
+    def view(self) -> DistanceView:
+        """The R-horizon :class:`DistanceView` backing every zone query."""
+        return self._view
 
-        Compatibility view for analysis paths (overlap ablations, SPREAD
-        edge policy) that genuinely need beyond-radius distances; it pays
-        the full APSP cost on the topology.  Protocol hot paths never call
-        it — they are served by the bounded substrate.
+    @property
+    def contact_view(self) -> DistanceView:
+        """The 2R-horizon view for contact-band operations.
+
+        SPREAD edge ranking and the overlap metric only ever compare
+        nodes whose true distance is ≤ 2R (edge nodes of one source are
+        pairwise ≤ 2R via the source; "overlapping contact" *means*
+        distance ≤ 2R), so this view answers them exactly — lazily, so
+        consumers that never rank (RANDOM policy, no overlap family)
+        never grow the shared band beyond R.
         """
-        return self.topology.hop_distances()
+        return self.topology.distance_view(2 * self.radius)
 
     @property
-    def membership(self) -> np.ndarray:
-        """Boolean matrix: ``membership[u, v]`` iff v in u's neighborhood."""
-        return self.substrate.membership(self.radius)
+    def membership(self):
+        """Membership matrix: ``membership[u, v]`` iff v in u's neighborhood.
+
+        A dense boolean ndarray below the sparse threshold, a
+        row-materialising :class:`~repro.net.substrate.SparseMembership`
+        above it — both serve the same indexing patterns.
+        """
+        return self._view.membership(self.radius)
 
     # ------------------------------------------------------------------
     # CARD queries
     # ------------------------------------------------------------------
     def contains(self, u: int, v: int) -> bool:
         """True iff ``v`` lies within R hops of ``u`` (including u itself)."""
-        return bool(self.membership[u, v])
+        return self._view.contains(u, v)
 
     def members(self, u: int) -> np.ndarray:
         """IDs of all nodes in u's neighborhood (including u)."""
-        return np.flatnonzero(self.membership[u])
+        return self._view.members(u)
 
     def size(self, u: int) -> int:
         """Neighborhood cardinality (including u)."""
-        return int(self.membership[u].sum())
+        return int(self._view.members(u).size)
 
     def edge_nodes(self, u: int) -> np.ndarray:
         """Nodes at exactly R hops from ``u`` — the CSQ launch points."""
-        return self.substrate.ring(u, self.radius)
+        return self._view.ring(u, self.radius)
 
     def hops(self, u: int, v: int) -> int:
-        """Hop distance u→v, or −1 if disconnected.
+        """Zone-scoped hop distance u→v, or −1 beyond the R horizon.
 
-        Intra-zone distances come from the bounded band; a beyond-radius
-        query falls back to the global matrix (lazily built, cached on the
-        topology) to keep the historical "global distance" semantics.
+        The pre-``DistanceView`` implementation fell back to a global
+        all-pairs matrix here; that fallback is gone by design.  Callers
+        needing the 2R contact band use :attr:`contact_view`; global
+        statistics are sampled via ``topology.distance_view(None)``.
         """
-        scoped = self.substrate.hops_within(u, v)
-        if scoped != g.UNREACHABLE:
-            return scoped
-        return int(self.topology.hop_distances()[u, v])
+        return self._view.hops(u, v)
 
     def zone_hops(self, u: int, ids) -> np.ndarray:
         """Band-scoped hop distances ``u → ids`` in one vectorized read.
@@ -119,7 +133,7 @@ class NeighborhoodTables:
         neighborhood members (DSQ/resource zone lookups), which are
         in-band by construction.
         """
-        return self.substrate.band()[u, np.asarray(ids, dtype=np.int64)]
+        return self._view.hops_many(u, ids)
 
     def path_within(self, u: int, v: int) -> Optional[List[int]]:
         """A hop-optimal path u→v if ``v`` is inside u's neighborhood.
@@ -146,10 +160,7 @@ class NeighborhoodTables:
         Vectorized form of the CSQ overlap checks (source / Contact_List /
         Edge_List membership).
         """
-        ids = np.asarray(list(candidates), dtype=np.int64)
-        if ids.size == 0:
-            return False
-        return bool(self.membership[u, ids].any())
+        return self._view.any_within(u, candidates)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NeighborhoodTables(R={self.radius}, epoch={self.substrate.epoch})"

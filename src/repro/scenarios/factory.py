@@ -22,16 +22,58 @@ __all__ = [
     "query_workload",
     "FIG9_CONFIGS",
     "Fig9Config",
+    "SCALE_PROFILES",
+    "MAX_SCALE",
+    "resolve_scale",
     "scaled",
     "standard_topology",
     "sample_sources",
 ]
 
+#: Named scale profiles accepted wherever a numeric ``scale`` is:
+#:
+#: * ``paper`` — the paper's own sizes (scale 1.0);
+#: * ``xl``   — 20× the paper's node counts.  The workhorse N=500
+#:   topology becomes an N=10⁴ snapshot — the regime the sparse
+#:   ``DistanceView`` substrate exists for (the seed-era APSP matrix
+#:   could not build there at all).  Density is preserved (areas grow
+#:   with √scale), so connectivity statistics stay comparable.
+SCALE_PROFILES = {
+    "paper": 1.0,
+    "xl": 20.0,
+}
+
+#: Upper bound on numeric scales (guards against typo'd scale=200 runs).
+MAX_SCALE = 100.0
+
+
+def resolve_scale(scale) -> float:
+    """A numeric scale from a float or a profile name (``"xl"``).
+
+    Raises ``ValueError`` naming the known profiles for unknown strings
+    or out-of-range numbers, matching the CLI's friendly-error style.
+    """
+    if isinstance(scale, str):
+        try:
+            return float(scale) if scale not in SCALE_PROFILES else SCALE_PROFILES[scale]
+        except ValueError:
+            known = ", ".join(sorted(SCALE_PROFILES))
+            raise ValueError(
+                f"unknown scale {scale!r}; pass a number in (0, {MAX_SCALE:g}] "
+                f"or a profile name ({known})"
+            ) from None
+    return float(scale)
+
 
 def scaled(value: int, scale: float, minimum: int = 1) -> int:
-    """Scale an integer knob, never below ``minimum``."""
-    if not (0.0 < scale <= 1.0):
-        raise ValueError("scale must lie in (0, 1]")
+    """Scale an integer knob, never below ``minimum``.
+
+    Scales above 1 grow the experiment (the ``xl`` profile); the upper
+    bound only exists to catch typos.
+    """
+    scale = resolve_scale(scale)
+    if not (0.0 < scale <= MAX_SCALE):
+        raise ValueError(f"scale must lie in (0, {MAX_SCALE:g}]")
     return max(minimum, int(round(value * scale)))
 
 

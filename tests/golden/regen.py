@@ -1,0 +1,42 @@
+"""Regenerate the golden artifact fixtures (deliberate refreshes only).
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/regen.py [id ...]
+
+Without arguments every artifact in the matrix is re-captured.  Check
+the diff carefully: a changed fixture means the artifact's output
+changed, which is exactly what the matrix exists to catch.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+import golden_matrix  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ids = (argv if argv else sys.argv[1:]) or golden_matrix.artifact_ids()
+    unknown = [i for i in ids if i not in golden_matrix.GOLDEN_KWARGS]
+    if unknown:
+        print(f"unknown artifact ids {unknown}; known: "
+              f"{golden_matrix.artifact_ids()}", file=sys.stderr)
+        return 1
+    for exp_id in ids:
+        t0 = time.time()
+        per_seed = {
+            str(seed): golden_matrix.capture(exp_id, seed)
+            for seed in golden_matrix.GOLDEN_SEEDS
+        }
+        path = golden_matrix.write_fixture(exp_id, per_seed)
+        print(f"{exp_id}: wrote {path} in {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Shared config for the golden-output artifact matrix.
+
+The golden fixtures under ``tests/golden/`` pin the exact artifact output
+(headers, rows, ASCII plots) of every registered artifact at small-N
+configurations, captured from the campaign path.  They replace the
+deleted ``repro.experiments.legacy`` parity oracles: instead of holding
+the campaign engine equal to a second live implementation, the matrix
+holds it equal to the committed output of the last validated build.
+
+Regenerate deliberately (never to paper over a diff) with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+``tests/test_golden_artifacts.py`` runs the comparison (marked
+``parity`` so the CI step name keeps working).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: per-artifact kwargs keeping the matrix fast (small N, short runs);
+#: every registered artifact id appears here — a new artifact without a
+#: matrix entry fails ``test_every_artifact_is_in_the_matrix``.
+GOLDEN_KWARGS: Dict[str, dict] = {
+    "table1": dict(scale=0.15),
+    "fig03": dict(scale=0.2, max_noc=3, num_sources=20),
+    "fig04": dict(scale=0.2, max_noc=3, num_sources=20),
+    "fig03_04": dict(scale=0.2, max_noc=3, num_sources=20),
+    "fig05": dict(scale=0.2, radii=(1, 2, 3), num_sources=20),
+    "fig06": dict(scale=0.2, deltas=(0, 4), num_sources=20),
+    "fig07": dict(scale=0.2, noc_values=(0, 2, 4), num_sources=20),
+    "fig08": dict(scale=0.2, depths=(1, 2), num_sources=20),
+    "fig09": dict(scale=0.12, num_sources=20),
+    "fig10": dict(scale=0.2, noc_values=(2, 4), duration=4.0, num_sources=15),
+    "fig11": dict(scale=0.2, r_values=(8, 12), duration=4.0, num_sources=15),
+    "fig12": dict(scale=0.2, r_values=(8, 12), duration=4.0, num_sources=15),
+    "fig13": dict(scale=0.25, duration=6.0, num_sources=15),
+    "fig14": dict(scale=0.2, max_noc=4, num_sources=20),
+    "fig15": dict(scale=0.15, num_queries=8, num_sizes=(250, 500)),
+    "ablation_pm_eq": dict(scale=0.2, num_sources=20),
+    "ablation_overlap": dict(scale=0.2, num_sources=20),
+    "ablation_recovery": dict(scale=0.25, duration=4.0, num_sources=15),
+    "ablation_query": dict(scale=0.2, num_queries=10),
+    "ablation_mobility": dict(scale=0.25, duration=4.0, num_sources=15),
+    "ablation_failures": dict(scale=0.2, num_queries=10),
+    "ablation_edge_policy": dict(scale=0.2, num_sources=20),
+    "smallworld": dict(scale=0.2, noc_values=(0, 2, 4), num_sources=20),
+    "mobility_rate": dict(scale=0.25, duration=4.0, num_sources=10),
+    # multi-seed CI artifacts carry their own seed tuples; the matrix seed
+    # is dropped as an inapplicable common knob, so both fixture seeds pin
+    # the same (deliberately seed-independent) output
+    "fig07_ci": dict(scale=0.2, noc_values=(0, 2, 4), num_sources=20),
+    "table1_ci": dict(scale=0.15),
+}
+
+#: seeds each artifact is pinned at (the old parity matrix covered 2)
+GOLDEN_SEEDS = (0, 1)
+
+
+def canon(value):
+    """Canonical JSON-safe form: numpy scalars to Python, tuples to lists.
+
+    Floats survive a JSON round-trip exactly (shortest-repr), so a
+    canonicalized result compares bit-for-bit against a loaded fixture.
+    """
+    if isinstance(value, (list, tuple)):
+        return [canon(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): canon(v) for k, v in value.items()}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def capture(exp_id: str, seed: int) -> Dict[str, object]:
+    """Run one artifact through the campaign path; return its pinned view."""
+    from repro.experiments.registry import run_experiment
+
+    result = run_experiment(exp_id, seed=seed, **GOLDEN_KWARGS[exp_id])
+    return {
+        "headers": canon(list(result.headers)),
+        "rows": canon([list(r) for r in result.rows]),
+        "plots": canon(list(result.plots)),
+    }
+
+
+def fixture_path(exp_id: str) -> Path:
+    return GOLDEN_DIR / f"{exp_id}.json"
+
+
+def load_fixture(exp_id: str) -> Dict[str, Dict[str, object]]:
+    return json.loads(fixture_path(exp_id).read_text(encoding="utf-8"))
+
+
+def write_fixture(exp_id: str, per_seed: Dict[str, Dict[str, object]]) -> Path:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    path = fixture_path(exp_id)
+    path.write_text(
+        json.dumps(per_seed, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def artifact_ids() -> List[str]:
+    return sorted(GOLDEN_KWARGS)

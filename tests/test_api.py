@@ -2,11 +2,10 @@
 
 Covers the redesign's contracts:
 
-* import layering — ``repro.api`` never loads the legacy oracles (nor
-  anything under ``repro.experiments``);
+* import layering — ``repro.api`` never loads anything under
+  ``repro.experiments`` (the facade sits below the CLI harness);
 * facade ↔ CLI output equality for one snapshot and one series artifact;
 * multi-seed ``run(id, seeds=(…))`` mean ± CI shape and determinism;
-* the legacy modules warn on direct invocation;
 * the campaign-native ``mobility_rate`` artifact.
 """
 
@@ -240,30 +239,6 @@ class TestMultiSeed:
         assert labels == {"recovery ON", "recovery OFF"}
 
 
-class TestLegacyOracles:
-    def test_legacy_invocation_warns(self):
-        from repro.experiments.legacy import run_table1
-
-        with pytest.warns(DeprecationWarning, match="repro.api.run"):
-            run_table1(scale=0.12)
-
-    def test_every_oracle_warns(self):
-        from repro.experiments.legacy import LEGACY_EXPERIMENTS
-
-        # cheapest artifact per oracle family would still simulate; just
-        # verify the wrapper is applied everywhere without calling
-        for exp_id, fn in LEGACY_EXPERIMENTS.items():
-            assert fn.__wrapped__ is not fn, exp_id
-
-    def test_registry_never_points_at_legacy(self):
-        from repro.experiments.legacy import LEGACY_EXPERIMENTS
-        from repro.experiments.registry import EXPERIMENTS
-
-        legacy_fns = set(LEGACY_EXPERIMENTS.values())
-        for exp_id, fn in EXPERIMENTS.items():
-            assert fn not in legacy_fns, f"{exp_id} routes to a legacy oracle"
-
-
 class TestMobilityRateArtifact:
     def test_rows_and_churn_monotone(self, tmp_path):
         result = api.run(
@@ -288,7 +263,7 @@ class TestMobilityRateArtifact:
     def test_registered_through_artifact_api(self):
         artifact = api.describe("mobility_rate")
         assert artifact.regime == "series"
-        assert not artifact.has_oracle
+        assert not artifact.multi_seed
         spec = artifact.spec(scale=0.25, duration=4.0)
         assert set(spec.metrics) == {"series", "contacts", "churn"}
         assert {c.mobility.max_speed for c in spec.cases} == {1.0, 3.0, 6.0, 10.0}

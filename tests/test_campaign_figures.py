@@ -1,12 +1,10 @@
-"""The campaign ↔ legacy parity matrix, plus the time-series cell regime.
+"""Campaign spec/cell behavior, registry surface, and the figure CLI.
 
-Three groups:
+(The bit-for-bit output matrix lives in ``tests/test_golden_artifacts.py``
+— every artifact against its pinned golden fixture, ``pytest -m parity``.)
 
-* ``TestParityMatrix`` (``pytest -m parity``) — the registry is
-  campaign-first, so for **every** artifact id with a legacy oracle,
-  ``run_experiment(<id>)`` (the campaign path) must equal the oracle in
-  ``repro.experiments.legacy`` bit-for-bit (headers, rows, ASCII plots)
-  on small-N topologies, across ≥2 seeds and ≥2 worker counts.
+Groups here:
+
 * ``TestTimeSeriesCells`` / ``TestCaseSpecs`` — property and
   hash-stability tests for the extended ``CellSpec``: time-series cells
   hash deterministically and keep snapshot cells' pre-extension hashes,
@@ -25,7 +23,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.artifacts.registry import ARTIFACTS, artifact_ids, get_artifact
+from repro.artifacts.registry import ARTIFACTS
 from repro.campaign.__main__ import main as campaign_main
 from repro.campaign.figures import (
     fig05_spec,
@@ -33,7 +31,6 @@ from repro.campaign.figures import (
     fig11_spec,
     fig12_spec,
 )
-from repro.experiments.legacy import LEGACY_EXPERIMENTS
 from repro.campaign.runner import CampaignRunner, execute_cell
 from repro.campaign.spec import (
     CampaignSpec,
@@ -43,44 +40,8 @@ from repro.campaign.spec import (
     TopologySpec,
 )
 from repro.campaign.store import ResultStore
-from repro.experiments.registry import (
-    DERIVED_EXPERIMENTS,
-    EXPERIMENTS,
-    run_experiment,
-)
+from repro.experiments.registry import run_experiment
 from repro.scenarios.factory import standard_topology
-
-#: per-experiment kwargs keeping the matrix fast (small N, short runs);
-#: every id with a legacy oracle appears here — an oracle without a
-#: matrix entry fails ``test_every_oracle_is_in_the_matrix``.
-PARITY_KWARGS = {
-    "table1": dict(scale=0.15),
-    "fig03": dict(scale=0.2, max_noc=3, num_sources=20),
-    "fig04": dict(scale=0.2, max_noc=3, num_sources=20),
-    "fig03_04": dict(scale=0.2, max_noc=3, num_sources=20),
-    "fig05": dict(scale=0.2, radii=(1, 2, 3), num_sources=20),
-    "fig06": dict(scale=0.2, deltas=(0, 4), num_sources=20),
-    "fig07": dict(scale=0.2, noc_values=(0, 2, 4), num_sources=20),
-    "fig08": dict(scale=0.2, depths=(1, 2), num_sources=20),
-    "fig09": dict(scale=0.12, num_sources=20),
-    "fig10": dict(scale=0.2, noc_values=(2, 4), duration=4.0, num_sources=15),
-    "fig11": dict(scale=0.2, r_values=(8, 12), duration=4.0, num_sources=15),
-    "fig12": dict(scale=0.2, r_values=(8, 12), duration=4.0, num_sources=15),
-    "fig13": dict(scale=0.25, duration=6.0, num_sources=15),
-    "fig14": dict(scale=0.2, max_noc=4, num_sources=20),
-    "fig15": dict(scale=0.15, num_queries=8, num_sizes=(250, 500)),
-    "ablation_pm_eq": dict(scale=0.2, num_sources=20),
-    "ablation_overlap": dict(scale=0.2, num_sources=20),
-    "ablation_recovery": dict(scale=0.25, duration=4.0, num_sources=15),
-    "ablation_query": dict(scale=0.2, num_queries=10),
-    "ablation_mobility": dict(scale=0.25, duration=4.0, num_sources=15),
-    "ablation_failures": dict(scale=0.2, num_queries=10),
-    "ablation_edge_policy": dict(scale=0.2, num_sources=20),
-    "smallworld": dict(scale=0.2, noc_values=(0, 2, 4), num_sources=20),
-}
-
-#: ≥2 seeds and ≥2 worker counts per id, without quadrupling the matrix
-SEED_WORKER_MATRIX = [(0, 1), (1, 2)]
 
 
 def tiny_mobility() -> MobilitySpec:
@@ -102,65 +63,7 @@ def tiny_series_cell(**overrides) -> CellSpec:
 
 
 # ----------------------------------------------------------------------
-@pytest.mark.parity
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
-class TestParityMatrix:
-    @pytest.mark.parametrize("seed,n_workers", SEED_WORKER_MATRIX)
-    @pytest.mark.parametrize("exp_id", sorted(PARITY_KWARGS))
-    def test_campaign_path_matches_legacy_oracle(
-        self, exp_id, seed, n_workers, tmp_path
-    ):
-        kwargs = dict(PARITY_KWARGS[exp_id], seed=seed)
-        legacy = LEGACY_EXPERIMENTS[exp_id](**kwargs)
-        store = ResultStore(tmp_path / "store.jsonl")
-        # the flipped registry: <id> itself resolves to the campaign path
-        campaign = run_experiment(
-            exp_id, store=store, n_workers=n_workers, **kwargs
-        )
-        assert campaign.headers == legacy.headers
-        assert campaign.rows == legacy.rows
-        assert campaign.plots == legacy.plots
-        assert campaign.exp_id == exp_id
-        # a second invocation against the same store is pure cache and
-        # still reduces to the identical artifact — through the pre-flip
-        # `<id>_campaign` alias, which must stay registered
-        again = run_experiment(
-            f"{exp_id}_campaign",
-            store=ResultStore(tmp_path / "store.jsonl"),
-            n_workers=1,
-            **kwargs,
-        )
-        assert again.rows == legacy.rows
-
-
 class TestPortCoverage:
-    def test_every_oracle_has_a_registered_artifact(self):
-        for exp_id in LEGACY_EXPERIMENTS:
-            assert exp_id in ARTIFACTS, f"{exp_id} lost its artifact"
-            assert ARTIFACTS[exp_id].has_oracle
-
-    def test_campaign_aliases_are_registered_and_derived(self):
-        for exp_id in ARTIFACTS:
-            assert exp_id in EXPERIMENTS
-            assert f"{exp_id}_campaign" in EXPERIMENTS
-            assert f"{exp_id}_campaign" in DERIVED_EXPERIMENTS
-
-    def test_every_oracle_is_in_the_matrix(self):
-        assert set(PARITY_KWARGS) == set(LEGACY_EXPERIMENTS)
-
-    def test_campaign_native_artifacts_marked_oracle_free(self):
-        oracle_free = {
-            exp_id for exp_id, a in ARTIFACTS.items() if not a.has_oracle
-        }
-        assert "mobility_rate" in oracle_free
-        assert not oracle_free & set(LEGACY_EXPERIMENTS)
-
-    def test_artifact_lookup(self):
-        assert get_artifact("fig10").exp_id == "fig10"
-        with pytest.raises(ValueError, match="unknown artifact"):
-            get_artifact("nonsense")
-        assert artifact_ids() == sorted(ARTIFACTS)
-
     def test_pre_flip_registry_surface_still_resolves(self):
         # CAMPAIGN_FIGURES / get_figure_port / run_<id>_campaign moved to
         # repro.artifacts.registry but stay importable from figures

@@ -2,6 +2,8 @@
 accounting, and the EM non-overlap invariant."""
 
 import numpy as np
+
+from repro.net import graph as g
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -51,7 +53,7 @@ class TestAdmission:
         params = CARDParams(R=2, r=8, method=SelectionMethod.EM)
         sel, _, tables = make_selector(topo, params)
         rng = np.random.default_rng(1)
-        dist = tables.distances
+        dist = g.hop_distance_matrix(topo.adj)  # test oracle
         edge_list = tuple(int(e) for e in tables.edge_nodes(0))
         for x in range(1, 100):
             if sel.admit(x, 0, (), edge_list, d=5, rng=rng):
@@ -104,7 +106,7 @@ class TestWalk:
         out = sel.select_one(0, int(tables.edge_nodes(0)[0]), (), rng)
         assert out.contact is not None
         # EM invariant: contact strictly beyond 2R
-        assert tables.distances[0, out.contact] > 4
+        assert g.hop_distance_matrix(topo.adj)[0, out.contact] > 4
         # path is walkable and ends at the contact
         assert out.path[0] == 0 and out.path[-1] == out.contact
         for a, b in zip(out.path, out.path[1:]):
@@ -205,7 +207,7 @@ class TestSelectContacts:
         params = CARDParams(R=2, r=10, noc=6)
         sel, _, tables = make_selector(topo, params)
         res = sel.select_contacts(66, np.random.default_rng(1))
-        dist = tables.distances
+        dist = g.hop_distance_matrix(topo.adj)  # test oracle
         ids = res.table.ids()
         assert len(ids) >= 2  # grid is large enough for several
         for c in ids:
@@ -277,6 +279,6 @@ class TestSelectContacts:
         params = CARDParams(R=2, r=8, noc=4)
         sel, _, tables = make_selector(topo, params)
         res = sel.select_contacts(0, np.random.default_rng(seed))
-        dist = tables.distances
+        dist = g.hop_distance_matrix(topo.adj)  # test oracle
         for c in res.table.ids():
             assert dist[0, c] > 2 * params.R

@@ -15,10 +15,15 @@ class TestBaseHelpers:
     def test_scaled_bounds(self):
         assert scaled(100, 0.5) == 50
         assert scaled(100, 0.001, minimum=10) == 10
+        # scales above 1 grow the experiment (the xl profile is 20x)
+        assert scaled(100, 1.5) == 150
+        assert scaled(500, "xl") == 10000
         with pytest.raises(ValueError):
             scaled(100, 0.0)
         with pytest.raises(ValueError):
-            scaled(100, 1.5)
+            scaled(100, 1000.0)
+        with pytest.raises(ValueError, match="profile"):
+            scaled(100, "huge")
 
     def test_sample_sources(self):
         assert sample_sources(10, None, 0) is None

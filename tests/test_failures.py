@@ -1,6 +1,8 @@
 """Tests for topology liveness and the failure injector."""
 
 import numpy as np
+
+from repro.net import graph as g
 import pytest
 
 from repro.core.params import CARDParams
@@ -42,7 +44,7 @@ class TestTopologyLiveness:
 
     def test_failed_node_splits_network(self, line10):
         line10.set_active(5, False)
-        dist = line10.hop_distances()
+        dist = g.hop_distance_matrix(line10.adj)
         assert dist[0, 9] == -1
 
     def test_positions_survive_failure(self, line10):

@@ -87,12 +87,17 @@ class TestMobilityRebuild:
         assert not topo.are_neighbors(0, 1)
         assert topo.are_neighbors(1, 2)
 
-    def test_hop_distances_cached_per_epoch(self, grid5):
-        d1 = grid5.hop_distances()
-        d2 = grid5.hop_distances()
-        assert d1 is d2
+    def test_no_allpairs_accessor(self, grid5):
+        # the APSP matrix is a test oracle only; the topology deliberately
+        # exposes no hop_distances() since the DistanceView redesign
+        assert not hasattr(grid5, "hop_distances")
+
+    def test_distance_view_membership_cached_per_epoch(self, grid5):
+        view = grid5.distance_view(2)
+        m1 = view.membership()
+        assert view.membership() is m1
         grid5.set_positions(np.array(grid5.positions))
-        assert grid5.hop_distances() is not d1
+        assert grid5.distance_view(2).membership() is not m1
 
     def test_node_count_fixed(self, line10):
         with pytest.raises(ValueError, match="node count"):

@@ -76,7 +76,7 @@ class TestPaths:
     def test_hops(self, line10):
         t = NeighborhoodTables(line10, radius=3)
         assert t.hops(0, 3) == 3
-        assert t.hops(0, 9) == 9  # distances matrix is global
+        assert t.hops(0, 9) == -1  # zone-scoped: beyond R answers -1
 
 
 class TestFreshness:
