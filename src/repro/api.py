@@ -85,6 +85,7 @@ def run(
     workers: int = 1,
     store: StoreLike = None,
     resume: bool = True,
+    telemetry: object = None,
     **options,
 ) -> ExperimentResult:
     """Regenerate one artifact through the campaign engine.
@@ -118,6 +119,14 @@ def run(
         True (default) reuses stored cells; False re-executes every cell
         even when cached (a forced re-measurement — results are
         re-appended, the store is never rewritten).
+    telemetry:
+        Per-cell tracing (see :meth:`repro.obs.ObsConfig.coerce`):
+        ``True`` writes ``<store>.trace.jsonl`` next to a persistent
+        store, a path selects the trace file explicitly, an
+        :class:`~repro.obs.ObsConfig` gives full control.  The returned
+        result carries the aggregated
+        :meth:`~repro.obs.TraceSummary.as_dict` in ``result.telemetry``.
+        Metrics, content hashes and golden parity are unaffected.
     options:
         Artifact-specific knobs, validated against the artifact's spec
         builder and reducer (e.g. ``noc_values=`` for fig07,
@@ -153,6 +162,7 @@ def run(
                 store=result_store,
                 workers=workers,
                 force=not resume,
+                telemetry=telemetry,
                 **options,
             )
         seed = seed_tuple[0]  # degenerate tuple: the exact artifact
@@ -165,6 +175,7 @@ def run(
         store=result_store,
         n_workers=workers,
         force=not resume,
+        telemetry=telemetry,
         **options,
     )
 
@@ -176,6 +187,7 @@ def _run_multi_seed(
     store: ResultStore,
     workers: int,
     force: bool,
+    telemetry: object = None,
     **options,
 ) -> ExperimentResult:
     """Mean ± CI variant: the artifact's sweep × seeds, group-reduced.
@@ -195,7 +207,9 @@ def _run_multi_seed(
             "drop them or run single-seed"
         )
     spec = dataclasses.replace(artifact.spec(seed=seeds[0], **options), seeds=seeds)
-    report = CampaignRunner(spec, store=store, n_workers=workers).run(force=force)
+    report = CampaignRunner(
+        spec, store=store, n_workers=workers, telemetry=telemetry
+    ).run(force=force)
     ensure_report_ok(report, spec.name)
     result = aggregate_table(
         spec,
@@ -204,4 +218,8 @@ def _run_multi_seed(
     )
     result.exp_id = artifact.id
     result.notes.append(f"seeds {tuple(seeds)}; {campaign_note(report)}")
+    if report.traces:
+        from repro.obs import summarize
+
+        result.telemetry = summarize(report.traces).as_dict()
     return result

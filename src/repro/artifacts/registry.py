@@ -175,13 +175,17 @@ class Artifact:
         store: Optional[ResultStore] = None,
         n_workers: int = 1,
         force: bool = False,
+        telemetry: object = None,
         **kwargs,
     ) -> ExperimentResult:
         """Execute missing cells, then reduce the store to the artifact.
 
         A warm ``store`` turns execution into cache hits (cells are
         keyed by content hash, so overlapping artifacts share work);
-        ``force`` re-executes cached cells too.
+        ``force`` re-executes cached cells too.  ``telemetry`` (see
+        :meth:`repro.obs.ObsConfig.coerce`) traces every executed cell
+        and attaches the aggregated summary to the result's
+        ``telemetry`` field; stored metrics are identical either way.
         """
         merged = self._resolve_kwargs(kwargs)
         spec = self.build_spec(**_filtered(self.build_spec, merged))
@@ -192,12 +196,16 @@ class Artifact:
             figures.require_single_seed(spec)
         if store is None:
             store = ResultStore(None)
-        report = CampaignRunner(spec, store=store, n_workers=n_workers).run(
-            force=force
-        )
+        report = CampaignRunner(
+            spec, store=store, n_workers=n_workers, telemetry=telemetry
+        ).run(force=force)
         ensure_report_ok(report, spec.name)
         result = self.reduce(spec, store, **_filtered(self.reduce, merged))
         result.notes = list(result.notes) + [campaign_note(report)]
+        if report.traces:
+            from repro.obs import summarize
+
+            result.telemetry = summarize(report.traces).as_dict()
         return result
 
     def render(self, result: ExperimentResult) -> str:

@@ -12,7 +12,7 @@ engine and the experiment harness) so that :mod:`repro.api` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.util.tables import format_table
 
@@ -35,6 +35,11 @@ class ExperimentResult:
         Pre-rendered ASCII figures appended after the table.
     raw:
         Machine-readable extras for tests/benchmarks (series arrays etc.).
+    telemetry:
+        The run's :meth:`repro.obs.TraceSummary.as_dict` when it executed
+        with telemetry enabled; None otherwise (the default — parity
+        comparisons of results never see it because it rides next to,
+        not inside, the tabular payload).
     """
 
     exp_id: str
@@ -44,6 +49,7 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     plots: List[str] = field(default_factory=list)
     raw: Dict[str, object] = field(default_factory=dict)
+    telemetry: Optional[Dict[str, object]] = None
 
     def render(self) -> str:
         parts = [

@@ -70,6 +70,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "bench_substrate",
     "bench_mobility",
+    "bench_obs",
     "bench_sparse",
     "bench_xl",
     "write_report",
@@ -277,9 +278,9 @@ def bench_mobility(
                 "mean_changed_nodes": (
                     float(np.mean([c for c in churn if c >= 0])) if churn else 0.0
                 ),
-                "rows_recomputed": sub.stats.rows_recomputed,
-                "full_rebuilds": sub.stats.full_rebuilds,
-                "incremental_updates": sub.stats.incremental_updates,
+                "rows_recomputed": sub.stats().rows_recomputed,
+                "full_rebuilds": sub.stats().full_rebuilds,
+                "incremental_updates": sub.stats().incremental_updates,
             }
         )
     return {
@@ -435,6 +436,75 @@ def bench_xl(*, quick: bool = False, num_sources: Optional[int] = None) -> Dict[
 
 
 # ----------------------------------------------------------------------
+# obs overhead: the telemetry layer's cost on a real artifact
+# ----------------------------------------------------------------------
+def bench_obs(
+    *,
+    quick: bool = False,
+    repeats: int = 3,
+    num_sources: Optional[int] = None,
+) -> Dict[str, object]:
+    """Tracing overhead: ``fig07`` telemetry off vs on, same workload.
+
+    The candidate is the instrumented run (spans + counters + one trace
+    record appended per cell); the reference is the identical run with
+    telemetry disabled, where every ``obs.span`` call is the no-op fast
+    path.  Both are best-of-``repeats`` in the same process, so the
+    gated ``overhead_fraction`` — (on − off) / off — is machine-
+    independent noise aside.  The baseline pins
+    ``max_overhead_fraction`` (0.05): :func:`compare_reports` fails when
+    measured overhead exceeds it, which is the "observability is free
+    enough to leave on" contract.
+    """
+    import tempfile
+
+    import repro.api as api
+    from repro.scenarios.factory import SCALE_PROFILES, scaled
+
+    # the workload is identical in quick and full mode (only ``repeats``
+    # differs) so the quick CI case gates against the committed full
+    # baseline by name, like the other benches' intersecting sweeps
+    sources = int(num_sources) if num_sources is not None else 20
+    scale = 0.3
+    kwargs = dict(scale=scale, num_sources=sources)
+    n = scaled(500, scale)
+
+    off_s, off_peak, off_result = _timed(lambda: api.run("fig07", **kwargs), repeats)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = str(Path(tmp) / "bench_obs.trace.jsonl")
+        on_s, on_peak, on_result = _timed(
+            lambda: api.run("fig07", telemetry=trace_path, **kwargs), repeats
+        )
+    if on_result.rows != off_result.rows:  # pragma: no cover - parity guard
+        raise AssertionError("fig07 rows differ with telemetry enabled")
+
+    overhead = (on_s - off_s) / off_s if off_s > 0 else 0.0
+    case = {
+        "name": f"fig07_tracing_overhead_n{n}",
+        "n": int(n),
+        "num_sources": sources,
+        "reference_seconds": off_s,
+        "candidate_seconds": on_s,
+        "reference_peak_bytes": int(off_peak),
+        "candidate_peak_bytes": int(on_peak),
+        "speedup": (off_s / on_s) if on_s > 0 else float("inf"),
+        "speedup_metric": "seconds",
+        "overhead_fraction": float(overhead),
+        "traced_cells": int(
+            (on_result.telemetry or {}).get("cells", 0)
+        ),
+    }
+    return {
+        "bench": "obs",
+        "schema_version": SCHEMA_VERSION,
+        "quick": bool(quick),
+        "host": _host(),
+        "peak_rss_kb": _peak_rss_kb(),
+        "cases": [case],
+    }
+
+
+# ----------------------------------------------------------------------
 # persistence + regression gate
 # ----------------------------------------------------------------------
 def write_report(report: Dict[str, object], out_dir: Path) -> Path:
@@ -458,6 +528,12 @@ def compare_reports(
     more than ``max_regression``× of its relative advantage.  Ratios are
     machine-independent (both sides of each ratio ran on the same host),
     so the gate is stable across laptop and CI hardware.
+
+    A baseline case may additionally pin ``max_overhead_fraction``
+    (the obs bench does, at 0.05): a current case whose measured
+    ``overhead_fraction`` exceeds it fails outright — this gate is
+    absolute, not relative, because "tracing costs <5 %" is the
+    contract, whatever the baseline machine measured.
     """
     failures: List[str] = []
     base_cases = {c["name"]: c for c in baseline.get("cases", [])}
@@ -474,6 +550,14 @@ def compare_reports(
                 f"{case['speedup']:.2f}x < floor {floor:.2f}x "
                 f"(baseline {ref['speedup']:.2f}x / {max_regression:g})"
             )
+        cap = ref.get("max_overhead_fraction")
+        if cap is not None and "overhead_fraction" in case:
+            if float(case["overhead_fraction"]) > float(cap):
+                failures.append(
+                    f"{current['bench']}/{case['name']}: overhead "
+                    f"{100 * float(case['overhead_fraction']):.1f}% > "
+                    f"cap {100 * float(cap):.0f}%"
+                )
     if matched == 0:
         failures.append(
             f"{current['bench']}: no case names match the baseline "

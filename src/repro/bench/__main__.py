@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.bench import (
     bench_mobility,
+    bench_obs,
     bench_sparse,
     bench_substrate,
     bench_xl,
@@ -36,7 +37,7 @@ from repro.bench import (
 __all__ = ["main"]
 
 #: Every bench the harness runs and gates, in execution order.
-BENCHES = ("substrate", "mobility", "sparse", "xl")
+BENCHES = ("substrate", "mobility", "sparse", "xl", "obs")
 
 #: Reduced sweep for CI: a strict subset of the full sweep so a quick run
 #: gates against committed full baselines on the intersecting case names,
@@ -118,6 +119,18 @@ def _cmd_run(args) -> int:
             f"(dense reference {case['reference_peak_bytes'] / 1e6:.1f} MB, "
             f"{case['speedup']:.1f}x); process peak RSS "
             f"{(xl['peak_rss_kb'] or 0) / 1024:.0f} MB"
+        )
+
+    print("card-bench: obs overhead (fig07 tracing off vs on) ...", flush=True)
+    obs_report = bench_obs(quick=quick, repeats=repeats)
+    path = write_report(obs_report, out)
+    print(f"wrote {path}")
+    for case in obs_report["cases"]:
+        print(
+            f"  {case['name']}: off {case['reference_seconds']:.2f}s, "
+            f"on {case['candidate_seconds']:.2f}s "
+            f"({100 * case['overhead_fraction']:+.1f}% overhead, "
+            f"{case['traced_cells']} cells traced)"
         )
     return 0
 

@@ -47,6 +47,7 @@ import csv
 import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -54,6 +55,7 @@ from repro.campaign.aggregate import aggregate_table
 from repro.campaign.runner import CampaignRunner, CellOutcome
 from repro.campaign.spec import CampaignSpec, TopologySpec
 from repro.campaign.store import ResultStore
+from repro.obs import default_trace_path
 
 __all__ = ["main"]
 
@@ -107,10 +109,17 @@ def _cmd_run(args, *, force: bool) -> int:
         store=store,
         n_workers=args.workers,
         shard=_parse_shard(args.shard),
+        telemetry=getattr(args, "trace", None),
     )
     report = runner.run(force=force, progress=_progress)
     print(report.summary())
     print(f"store: {store_path} ({len(store)} records)")
+    if runner.telemetry is not None and runner.telemetry.trace_path:
+        print(
+            f"trace: {runner.telemetry.trace_path} "
+            f"(python -m repro.campaign trace summary "
+            f"{runner.telemetry.trace_path})"
+        )
     if not report.ok:
         for outcome in report.outcomes:
             if outcome.error:
@@ -121,13 +130,15 @@ def _cmd_run(args, *, force: bool) -> int:
 
 
 def _cmd_status(args) -> int:
+    if getattr(args, "follow", False):
+        return _follow_status(args)
     spec, store, store_path = _load(args)
     status = CampaignRunner(
         spec, store=store, shard=_parse_shard(getattr(args, "shard", None))
     ).status()
     missing = status["missing"]
     print(f"campaign:  {status['spec']}")
-    print(f"store:     {store_path}")
+    print(f"store:     {store_path} ({status['store_bytes']} bytes)")
     if status["shard"]:
         print(f"shard:     {status['shard']}")
     print(f"cells:     {status['done']}/{status['total']} done")
@@ -138,6 +149,55 @@ def _cmd_status(args) -> int:
         more = f" (+{len(missing) - 8} more)" if len(missing) > 8 else ""
         print(f"missing:   {shown}{more}")
     return 0 if not missing else 2
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds < 0:
+        return "?"
+    seconds = int(round(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def _follow_status(args) -> int:
+    """``status --follow``: poll the store until the campaign completes.
+
+    A concurrent ``run`` appends whole JSONL lines, so re-reading the
+    store from another process is safe at any moment; each tick prints
+    one progress line with throughput (cells/s since follow started),
+    ETA, and bytes written.
+    """
+    spec_path = Path(args.spec)
+    spec = CampaignSpec.load(spec_path)
+    store_path = Path(args.store) if args.store else _default_store(spec_path)
+    shard = _parse_shard(getattr(args, "shard", None))
+    interval = max(float(args.interval), 0.1)
+    t0 = time.monotonic()
+    done0: Optional[int] = None
+    while True:
+        status = CampaignRunner(
+            spec, store=ResultStore(store_path), shard=shard
+        ).status()
+        done, total = int(status["done"]), int(status["total"])
+        if done0 is None:
+            done0 = done
+        elapsed = time.monotonic() - t0
+        rate = (done - done0) / elapsed if elapsed > 0 else 0.0
+        left = total - done
+        eta = _format_eta(left / rate) if rate > 0 else "?"
+        pct = (100.0 * done / total) if total else 100.0
+        print(
+            f"{status['spec']}: {done}/{total} cells ({pct:.0f}%) | "
+            f"{rate:.2f} cells/s | ETA {eta} | "
+            f"{status['store_bytes']} bytes",
+            flush=True,
+        )
+        if done >= total:
+            return 0
+        time.sleep(interval)
 
 
 def _validate_format(fmt: str) -> str:
@@ -213,10 +273,60 @@ def _cmd_figure(args) -> int:
         )
         return 0
     store = ResultStore(Path(args.store)) if args.store else ResultStore(None)
-    result = artifact.run(store=store, n_workers=args.workers, **kwargs)
+    result = artifact.run(
+        store=store,
+        n_workers=args.workers,
+        telemetry=getattr(args, "trace", None),
+        **kwargs,
+    )
     print(result.render())
     if store.path is not None:
         print(f"store: {store.path} ({len(store)} records)")
+    if result.telemetry is not None:
+        print(f"traced {result.telemetry['cells']} cells "
+              f"({result.telemetry['total_cell_seconds']:.2f} cell-seconds)")
+    return 0
+
+
+TRACE_ACTIONS = ("summary", "slowest", "phases", "export")
+
+
+def _cmd_trace(args) -> int:
+    """Aggregate a ``trace.jsonl`` file: summary | slowest | phases | export."""
+    from repro import obs
+
+    if args.action not in TRACE_ACTIONS:
+        raise ValueError(
+            f"unknown trace action {args.action!r} "
+            f"(expected one of {', '.join(TRACE_ACTIONS)})"
+        )
+    log = obs.load_trace(args.trace_file)
+    if not log.records:
+        print(f"error: no trace records in {args.trace_file}", file=sys.stderr)
+        return 1
+    if log.corrupt_lines:
+        print(
+            f"note: skipped {log.corrupt_lines} unreadable line(s)",
+            file=sys.stderr,
+        )
+    if args.action == "summary":
+        print(obs.summarize(log).render())
+        return 0
+    if args.action == "slowest":
+        print(obs.render_slowest(obs.slowest(log, limit=args.limit)))
+        return 0
+    if args.action == "phases":
+        summary = obs.summarize(log)
+        # the summary's phase table alone (scripting-friendly)
+        print(summary.render().split("\n\n")[1])
+        return 0
+    out = Path(
+        args.out
+        if args.out
+        else Path(args.trace_file).with_suffix(".chrome.json")
+    )
+    out.write_text(json.dumps(obs.chrome_trace(log)), encoding="utf-8")
+    print(f"wrote {out} — open via chrome://tracing or https://ui.perfetto.dev")
     return 0
 
 
@@ -293,15 +403,41 @@ def main(argv: Optional[list] = None) -> int:
                 ),
             )
 
+    def add_trace_arg(p):
+        p.add_argument(
+            "--trace",
+            nargs="?",
+            const=True,
+            default=None,
+            metavar="PATH",
+            help=(
+                "record per-cell telemetry to PATH "
+                "(default: <store>.trace.jsonl next to the store)"
+            ),
+        )
+
     p_run = sub.add_parser("run", help="execute cells not yet in the store")
     add_spec_args(p_run, shard=True)
+    add_trace_arg(p_run)
     p_run.add_argument(
         "--force", action="store_true", help="re-execute cached cells too"
     )
     p_resume = sub.add_parser("resume", help="execute only the missing cells")
     add_spec_args(p_resume, shard=True)
+    add_trace_arg(p_resume)
     p_status = sub.add_parser("status", help="show stored vs missing cells")
     add_spec_args(p_status, workers=False, shard=True)
+    p_status.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll until complete, printing progress/ETA each tick",
+    )
+    p_status.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --follow polls (default 2)",
+    )
     p_report = sub.add_parser("report", help="aggregate the store into a table")
     add_spec_args(p_report, workers=False)
     p_report.add_argument(
@@ -335,6 +471,7 @@ def main(argv: Optional[list] = None) -> int:
         help="JSONL result store (default: in-memory, nothing persisted)",
     )
     p_figure.add_argument("--workers", type=int, default=1, help="process-pool width")
+    add_trace_arg(p_figure)
     p_figure.add_argument(
         "--scale",
         default="1.0",
@@ -355,6 +492,21 @@ def main(argv: Optional[list] = None) -> int:
     p_example.add_argument(
         "--tiny", action="store_true", help="2-cell smoke spec (CI)"
     )
+    p_trace = sub.add_parser(
+        "trace", help="aggregate a trace.jsonl (summary|slowest|phases|export)"
+    )
+    p_trace.add_argument(
+        "action", metavar="ACTION", help="summary | slowest | phases | export"
+    )
+    p_trace.add_argument("trace_file", help="path to a trace.jsonl file")
+    p_trace.add_argument(
+        "--limit", type=int, default=10, help="rows for `slowest` (default 10)"
+    )
+    p_trace.add_argument(
+        "--out",
+        default=None,
+        help="export target (default: <trace>.chrome.json)",
+    )
 
     args = parser.parse_args(argv)
     try:
@@ -368,6 +520,8 @@ def main(argv: Optional[list] = None) -> int:
             return _cmd_report(args)
         if args.command == "figure":
             return _cmd_figure(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_example(args)
     except BrokenPipeError:
         # the reader (e.g. `report ... | head`) closed the pipe; park

@@ -33,8 +33,10 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.campaign.spec import CampaignSpec, CellSpec
 from repro.campaign.store import ResultStore
+from repro.obs import CellTrace, ObsConfig
 from repro.core.params import CARDParams
 from repro.core.protocol import CARDProtocol
 from repro.core.query import QueryEngine
@@ -98,10 +100,18 @@ def execute_cell(cell: CellSpec) -> Dict[str, object]:
     produced by :meth:`~repro.core.runner.TimeSeriesResult.to_metrics`:
     ``series``, ``contacts`` and ``churn``.
     """
-    topo = cell.topology.build(cell.seed)
+    with obs.span("topology_build"):
+        topo = cell.topology.build(cell.seed)
     if cell.is_time_series:
-        return _execute_series(cell, topo)
-    return _execute_snapshot(cell, topo)
+        out = _execute_series(cell, topo)
+    else:
+        out = _execute_snapshot(cell, topo)
+    if obs.active():
+        # cold-vs-refresh split: full_rebuilds counts cold band builds,
+        # incremental_updates/rows_recomputed the mobility refresh work
+        for name, value in topo.substrate_stats().items():
+            obs.set_counter(f"substrate_{name}", value)
+    return out
 
 
 def _execute_series(cell: CellSpec, topo: Topology) -> Dict[str, object]:
@@ -117,16 +127,18 @@ def _execute_series(cell: CellSpec, topo: Topology) -> Dict[str, object]:
         sources=sources,
         track_link_deltas="churn" in cell.metrics,
     )
-    return runner.run().to_metrics(cell.metrics)
+    with obs.span("metrics:series"):
+        return runner.run().to_metrics(cell.metrics)
 
 
 def _execute_snapshot(cell: CellSpec, topo: Topology) -> Dict[str, object]:
     out: Dict[str, object] = {}
     if "topology" in cell.metrics:
-        st = topo.stats(
-            pair_sample=_pair_sample(topo.num_nodes),
-            rng=spawn_rng(cell.seed, "pairstats"),
-        )
+        with obs.span("metrics:topology"):
+            st = topo.stats(
+                pair_sample=_pair_sample(topo.num_nodes),
+                rng=spawn_rng(cell.seed, "pairstats"),
+            )
         out.update(
             num_nodes=st.num_nodes,
             num_links=st.num_links,
@@ -138,15 +150,20 @@ def _execute_snapshot(cell: CellSpec, topo: Topology) -> Dict[str, object]:
         )
     selection_families = {"reachability", "overhead", "overlap", "tradeoff"}
     if selection_families & set(cell.metrics):
-        out.update(_selection_metrics(cell, topo))
+        with obs.span("metrics:selection"):
+            out.update(_selection_metrics(cell, topo))
     if "smallworld" in cell.metrics:
-        out.update(_smallworld_metrics(cell, topo))
+        with obs.span("metrics:smallworld"):
+            out.update(_smallworld_metrics(cell, topo))
     if "comparison" in cell.metrics:
-        out.update(_comparison_metrics(cell, topo))
+        with obs.span("metrics:comparison"):
+            out.update(_comparison_metrics(cell, topo))
     if "query" in cell.metrics:
-        out.update(_query_metrics(cell, topo))
+        with obs.span("metrics:query"):
+            out.update(_query_metrics(cell, topo))
     if "failures" in cell.metrics:
-        out.update(_failures_metrics(cell, topo))
+        with obs.span("metrics:failures"):
+            out.update(_failures_metrics(cell, topo))
     return out
 
 
@@ -342,15 +359,37 @@ def _failures_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
     }
 
 
-def _worker(payload: Tuple[str, Dict[str, object]]):
-    """Pool target: run one serialised cell, never raise."""
-    key, cell_dict = payload
+def _worker(payload: Tuple[str, Dict[str, object], Optional[Dict[str, object]]]):
+    """Pool target: run one serialised cell, never raise.
+
+    Returns ``(key, metrics, elapsed, error, trace_record)``.  When
+    telemetry is configured (third payload element non-None) the worker
+    activates a :class:`~repro.obs.CellTrace` for the cell, appends the
+    finished record to the trace file itself (each process owns its own
+    appends — crash-safe, no locks) and also returns the record so the
+    parent can embed/summarise without re-reading the file.
+    """
+    key, cell_dict, obs_dict = payload
+    config = None if obs_dict is None else ObsConfig.from_dict(obs_dict)
+    trace_record: Optional[Dict[str, object]] = None
     started = time.perf_counter()
+    error: Optional[str] = None
+    metrics: Optional[Dict[str, object]] = None
+    if config is not None:
+        obs.activate(CellTrace(key, memory=config.memory))
     try:
         metrics = execute_cell(CellSpec.from_dict(cell_dict))
-        return key, metrics, time.perf_counter() - started, None
     except Exception:  # noqa: BLE001 - report, don't kill the pool
-        return key, None, time.perf_counter() - started, traceback.format_exc()
+        error = traceback.format_exc()
+    finally:
+        if config is not None:
+            trace = obs.current()
+            obs.deactivate()
+            if trace is not None:
+                trace_record = trace.finish(error=error)
+                if config.trace_path is not None:
+                    obs.write_record(config.trace_path, trace_record)
+    return key, metrics, time.perf_counter() - started, error, trace_record
 
 
 # ----------------------------------------------------------------------
@@ -364,6 +403,8 @@ class CellOutcome:
     elapsed: float = 0.0
     cached: bool = False
     error: Optional[str] = None
+    #: the cell's finished obs record (None when telemetry is off/cached)
+    trace: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -381,6 +422,11 @@ class CampaignReport:
     failed: int
     elapsed: float
     outcomes: List[CellOutcome] = field(default_factory=list)
+
+    @property
+    def traces(self) -> List[Dict[str, object]]:
+        """Finished obs records of executed cells (empty, telemetry off)."""
+        return [o.trace for o in self.outcomes if o.trace is not None]
 
     @property
     def ok(self) -> bool:
@@ -414,6 +460,14 @@ class CampaignRunner:
         the union over all shards is exactly the full campaign and cell →
         shard assignment is stable across machines.  Stores are keyed by
         content hash, so per-shard JSONL stores concatenate safely.
+    telemetry:
+        Per-cell tracing (see :class:`repro.obs.ObsConfig.coerce`):
+        ``None``/``False`` off (the default — zero overhead, stored
+        records byte-identical), ``True`` on with the trace file next to
+        the store, a path for an explicit trace file, or a full
+        :class:`~repro.obs.ObsConfig`.  Cell *metrics* and content
+        hashes are identical either way; only the trace file and (with
+        ``embed=True``) a top-level ``_obs`` block differ.
     """
 
     def __init__(
@@ -423,6 +477,7 @@ class CampaignRunner:
         *,
         n_workers: int = 1,
         shard: Optional[Tuple[int, int]] = None,
+        telemetry: object = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -437,6 +492,9 @@ class CampaignRunner:
         self.store = store if store is not None else ResultStore(None)
         self.n_workers = int(n_workers)
         self.shard = shard
+        self.telemetry: Optional[ObsConfig] = ObsConfig.coerce(
+            telemetry, store_path=self.store.path
+        )
 
     # ------------------------------------------------------------------
     def cells(self) -> List[Tuple[str, CellSpec]]:
@@ -460,6 +518,8 @@ class CampaignRunner:
             "done": len(pairs) - len(missing),
             "missing": missing,
             "shard": None if self.shard is None else f"{self.shard[0]}/{self.shard[1]}",
+            "store_path": None if self.store.path is None else str(self.store.path),
+            "store_bytes": self.store.size_bytes(),
         }
 
     # ------------------------------------------------------------------
@@ -494,15 +554,27 @@ class CampaignRunner:
 
         by_key = dict(pairs)
         finished = 0
-        for key, metrics, elapsed, error in self._execute(pending):
+        for key, metrics, elapsed, error, trace_record in self._execute(pending):
             outcome = CellOutcome(
                 key=key,
                 cell=by_key[key],
                 metrics=metrics,
                 elapsed=elapsed,
                 error=error,
+                trace=trace_record,
             )
             if error is None:
+                embed = None
+                if (
+                    trace_record is not None
+                    and self.telemetry is not None
+                    and self.telemetry.embed
+                ):
+                    embed = {
+                        k: trace_record[k]
+                        for k in ("pid", "elapsed", "phases", "counters")
+                        if k in trace_record
+                    }
                 self.store.append(
                     key,
                     by_key[key].to_dict(),
@@ -512,6 +584,7 @@ class CampaignRunner:
                         "elapsed": round(elapsed, 4),
                         "finished_at": time.time(),
                     },
+                    obs=embed,
                 )
             outcomes.append(outcome)
             finished += 1
@@ -539,10 +612,11 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
     def _execute(self, pending: List[Tuple[str, CellSpec]]):
-        """Yield (key, metrics, elapsed, error) for each pending cell."""
+        """Yield (key, metrics, elapsed, error, trace) per pending cell."""
         if not pending:
             return
-        payloads = [(key, cell.to_dict()) for key, cell in pending]
+        obs_dict = None if self.telemetry is None else self.telemetry.to_dict()
+        payloads = [(key, cell.to_dict(), obs_dict) for key, cell in pending]
         if self.n_workers == 1 or len(payloads) == 1:
             for payload in payloads:
                 yield _worker(payload)

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.params import CARDParams
 from repro.core.protocol import CARDProtocol
 from repro.core.reachability import contact_ids_map, reachability_all, reachability_distribution
@@ -123,8 +124,10 @@ class SnapshotRunner:
 
     def run(self) -> SnapshotResult:
         """Select contacts for all sources, then measure."""
-        selection = self.protocol.bootstrap(self.sources)
-        reach = self.protocol.reachability(self.sources)
+        with obs.span("bootstrap"):
+            selection = self.protocol.bootstrap(self.sources)
+        with obs.span("reachability"):
+            reach = self.protocol.reachability(self.sources)
         return SnapshotResult(
             params=self.params,
             num_nodes=self.network.num_nodes,
@@ -383,7 +386,8 @@ class TimeSeriesRunner:
         p = self.params
         stats = self.network.stats
         # 1) bootstrap contacts on the initial topology
-        self.protocol.bootstrap(self.sources)
+        with obs.span("bootstrap"):
+            self.protocol.bootstrap(self.sources)
         if not self.count_bootstrap:
             stats.reset()
         # 2) wire mobility
@@ -410,7 +414,8 @@ class TimeSeriesRunner:
         sampler = PeriodicProcess(
             self.sim, bin_w, self._sample_bin, start_delay=bin_w
         )
-        self.sim.run(until=self.duration)
+        with obs.span("sim_run"):
+            self.sim.run(until=self.duration)
         # flush a final partial bin sample if the horizon isn't bin-aligned
         nbins = int(np.ceil(self.duration / bin_w))
         while len(self._contacts_samples) < nbins:
@@ -435,11 +440,5 @@ class TimeSeriesRunner:
             lost_per_bin=list(self._lost_per_bin),
             num_sources=len(self.sources),
             link_churn=list(driver.delta_history),
-            substrate_stats=(
-                # DSDV-backed tables have no oracle substrate to report on
-                sub.stats.as_dict()
-                if (sub := getattr(self.protocol.tables, "substrate", None))
-                is not None
-                else {}
-            ),
+            substrate_stats=self.protocol.tables.substrate_stats(),
         )

@@ -54,7 +54,7 @@ parity suite and ``card-bench`` use it as the reference).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -383,7 +383,7 @@ class DistanceSubstrate:
         self.horizon = int(horizon)
         self.incremental = bool(incremental)
         self._backend_choice = backend
-        self.stats = SubstrateStats()
+        self._stats = SubstrateStats()
         self._epoch = -1
         self._band = None  # a _DenseBand or _SparseBand, None when stale
         self._cache = _EpochCache()
@@ -442,11 +442,11 @@ class DistanceSubstrate:
             csr = g.adjacency_to_csr(adj) if g._HAVE_SCIPY else None
             backend = _SparseBand if self.backend_kind == "sparse" else _DenseBand
             self._band = backend.build(adj, self.horizon, csr)
-            self.stats.full_rebuilds += 1
+            self._stats.full_rebuilds += 1
         elif changed.size == 0:
             # epoch bumped (positions moved / liveness toggled) but no link
             # actually flipped — the band is already exact
-            self.stats.null_updates += 1
+            self._stats.null_updates += 1
         else:
             self._incremental_update(adj, changed)
         self._epoch = topo.epoch
@@ -480,8 +480,8 @@ class DistanceSubstrate:
                 band.set_rows(
                     rest, g.bounded_hop_distances(adj, self.horizon, rest, csr=csr)
                 )
-        self.stats.incremental_updates += 1
-        self.stats.rows_recomputed += int(changed.size + rest.size)
+        self._stats.incremental_updates += 1
+        self._stats.rows_recomputed += int(changed.size + rest.size)
 
     # ------------------------------------------------------------------
     # band + membership access (substrate-horizon scoped)
@@ -489,6 +489,17 @@ class DistanceSubstrate:
     @property
     def epoch(self) -> int:
         return self._epoch
+
+    def stats(self) -> SubstrateStats:
+        """A point-in-time snapshot of the refresh accounting.
+
+        The returned :class:`SubstrateStats` is a *copy*: callers can
+        diff two snapshots (cold build vs refresh work) without the live
+        counters mutating underneath them.  This is the one public way
+        to observe substrate work — :class:`~repro.core.runner.TimeSeriesRunner`,
+        ``card-bench`` and the obs layer all read it.
+        """
+        return replace(self._stats)
 
     def _fresh_band(self):
         self.refresh()
@@ -523,11 +534,11 @@ class DistanceSubstrate:
         band = self._fresh_band()
         cached = self._cache.membership.get(radius)
         if cached is not None:
-            self.stats.membership_hits += 1
+            self._stats.membership_hits += 1
             return cached
         member = band.membership(radius)
         self._cache.membership[radius] = member
-        self.stats.membership_builds += 1
+        self._stats.membership_builds += 1
         return member
 
     def ring(self, u: int, radius: int) -> np.ndarray:

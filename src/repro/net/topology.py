@@ -35,7 +35,7 @@ Two facilities support the incremental neighborhood substrate:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -281,6 +281,17 @@ class Topology:
         else:
             self._substrate.ensure_horizon(horizon)
         return self._substrate
+
+    def substrate_stats(self) -> Dict[str, int]:
+        """Refresh accounting of the shared substrate, as a plain dict.
+
+        ``{}`` when no consumer ever created the substrate (snapshot
+        topologies with no zone machinery), so callers can report it
+        unconditionally.
+        """
+        if self._substrate is None:
+            return {}
+        return self._substrate.stats().as_dict()
 
     # ------------------------------------------------------------------
     # distance access (the DistanceView API)

@@ -1,0 +1,64 @@
+"""`repro.obs` — structured tracing and metrics for the campaign engine.
+
+Two halves:
+
+* :mod:`repro.obs.trace` — the collection side: :class:`ObsConfig`,
+  :class:`CellTrace`, and the module-level :func:`span`/:func:`add`
+  instrumentation hooks that cost one global read when disabled;
+* :mod:`repro.obs.report` — the aggregation side: :func:`load_trace`,
+  :func:`summarize`, :func:`slowest` and the Chrome-trace export.
+
+Instrumented code imports only from here::
+
+    from repro import obs
+
+    with obs.span("topology_build"):
+        topo = build(...)
+    obs.add("substrate_full_rebuilds", stats["full_rebuilds"])
+"""
+
+from repro.obs.trace import (
+    CellTrace,
+    ObsConfig,
+    activate,
+    active,
+    add,
+    current,
+    deactivate,
+    default_trace_path,
+    set_counter,
+    span,
+    write_record,
+)
+from repro.obs.report import (
+    PhaseStat,
+    TraceLog,
+    TraceSummary,
+    chrome_trace,
+    load_trace,
+    render_slowest,
+    slowest,
+    summarize,
+)
+
+__all__ = [
+    "ObsConfig",
+    "CellTrace",
+    "span",
+    "add",
+    "set_counter",
+    "active",
+    "current",
+    "activate",
+    "deactivate",
+    "write_record",
+    "default_trace_path",
+    "TraceLog",
+    "PhaseStat",
+    "TraceSummary",
+    "load_trace",
+    "summarize",
+    "slowest",
+    "render_slowest",
+    "chrome_trace",
+]

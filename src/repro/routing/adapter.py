@@ -104,6 +104,10 @@ class DSDVNeighborhoodTables:
         assert self._member is not None
         return self._member
 
+    def substrate_stats(self) -> dict:
+        """DSDV-backed tables have no oracle substrate to report on."""
+        return {}
+
     @property
     def contact_view(self) -> _LearnedMatrixView:
         """Edge-ranking view over the protocol-learned metric matrix.

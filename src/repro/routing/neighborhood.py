@@ -69,6 +69,14 @@ class NeighborhoodTables:
         """The topology-shared bounded-distance engine answering queries."""
         return self._view.substrate
 
+    def substrate_stats(self) -> dict:
+        """Refresh accounting of the backing substrate (plain dict).
+
+        The public observation point :class:`~repro.core.runner.TimeSeriesRunner`
+        and the obs layer read instead of reaching into the substrate.
+        """
+        return self._view.substrate.stats().as_dict()
+
     @property
     def view(self) -> DistanceView:
         """The R-horizon :class:`DistanceView` backing every zone query."""

@@ -214,7 +214,7 @@ class TestSubstrate:
         topo = random_topology(n=90, seed=1)
         sub = DistanceSubstrate(topo, 3)
         assert_band_exact(topo, sub)
-        assert sub.stats.full_rebuilds == 1
+        assert sub.stats().full_rebuilds == 1
 
     @pytest.mark.parametrize("seed", range(4))
     def test_incremental_mobile_parity(self, seed):
@@ -233,7 +233,7 @@ class TestSubstrate:
             pos[:, 1] = np.clip(pos[:, 1], 0.0, topo.area[1])
             topo.set_positions(pos)
             assert_band_exact(topo, sub)
-        assert sub.stats.incremental_updates + sub.stats.null_updates > 0
+        assert sub.stats().incremental_updates + sub.stats().null_updates > 0
 
     def test_incremental_disconnection_and_reconnection(self):
         topo = roomy_line(8)
@@ -247,7 +247,7 @@ class TestSubstrate:
         assert_band_exact(topo, sub)
         topo.set_positions(home)  # and returns: chain restored
         assert_band_exact(topo, sub)
-        assert sub.stats.incremental_updates >= 1
+        assert sub.stats().incremental_updates >= 1
 
     def test_epoch_invalidation_regression(self):
         """A stale band must never be served after an epoch bump — the
@@ -268,7 +268,7 @@ class TestSubstrate:
         a = sub.membership(2)
         b = sub.membership(2)
         assert a is b
-        assert sub.stats.membership_hits == 1
+        assert sub.stats().membership_hits == 1
         topo.set_positions(np.array(topo.positions))
         c = sub.membership(2)
         assert c is not a  # epoch bump invalidates the cached view
@@ -293,22 +293,22 @@ class TestSubstrate:
         pos[0] = [1.0, 1.0]
         topo.set_positions(pos)
         assert_band_exact(topo, sub)
-        assert sub.stats.incremental_updates == 0
-        assert sub.stats.full_rebuilds == 2
+        assert sub.stats().incremental_updates == 0
+        assert sub.stats().full_rebuilds == 2
 
     def test_massive_change_falls_back_to_full_rebuild(self):
         topo = random_topology(n=60, seed=5)
         topo.enable_delta_tracking()
         sub = DistanceSubstrate(topo, 3)
         sub.refresh()
-        rebuilds = sub.stats.full_rebuilds
+        rebuilds = sub.stats().full_rebuilds
         rng = np.random.default_rng(0)
         pos = np.empty_like(topo.positions)
         pos[:, 0] = rng.uniform(0.0, topo.area[0], 60)
         pos[:, 1] = rng.uniform(0.0, topo.area[1], 60)
         topo.set_positions(pos)  # everybody moved: incremental is pointless
         assert_band_exact(topo, sub)
-        assert sub.stats.full_rebuilds == rebuilds + 1
+        assert sub.stats().full_rebuilds == rebuilds + 1
 
 
 # ----------------------------------------------------------------------
@@ -322,8 +322,8 @@ class TestSharedSubstrate:
         assert a.substrate is b.substrate
         _ = a.membership
         _ = b.membership
-        assert a.substrate.stats.full_rebuilds == 1
-        assert a.substrate.stats.membership_builds == 1
+        assert a.substrate.stats().full_rebuilds == 1
+        assert a.substrate.stats().membership_builds == 1
 
     def test_larger_radius_upgrades_horizon(self):
         topo = random_topology(n=50, seed=0)

@@ -125,7 +125,7 @@ class TestBackendParityDynamic:
                 (full >= 0) & (full <= 3), full, g.UNREACHABLE
             ).astype(sparse.band().dtype)
             assert (sparse.band() == clip).all()
-        assert sparse.stats.incremental_updates + sparse.stats.null_updates > 0
+        assert sparse.stats().incremental_updates + sparse.stats().null_updates > 0
 
     def test_failure_injection(self):
         topo = random_topology(n=90, seed=5)
@@ -201,12 +201,12 @@ class TestMultiHorizonViews:
         topo = random_topology(n=60, seed=4)
         sub = topo.substrate(2)
         _ = sub.band()
-        rebuilds = sub.stats.full_rebuilds
+        rebuilds = sub.stats().full_rebuilds
         grown = topo.substrate(5)
         assert grown is sub  # same object, horizon grown in place
         _ = sub.band()
         assert sub.horizon == 5
-        assert sub.stats.full_rebuilds == rebuilds + 1
+        assert sub.stats().full_rebuilds == rebuilds + 1
 
 
 class TestGlobalView:
