@@ -30,7 +30,7 @@ from repro.campaign import figures
 from repro.campaign.runner import CampaignReport, CampaignRunner
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
-from repro.scenarios.factory import resolve_scale
+from repro.scenarios.factory import SCALE_PROFILES, resolve_scale
 
 __all__ = [
     "Artifact",
@@ -91,6 +91,13 @@ class Artifact:
     defaults:
         Per-artifact keyword overrides layered under caller kwargs
         (e.g. fig04's ``max_noc=5`` axis).
+    xl_defaults:
+        Extra overrides applied when the resolved scale reaches the
+        ``"xl"`` profile — bounded sampling knobs (``num_sources``,
+        ``num_queries``, ``duration``) that keep N=10⁴ runs
+        query-bound rather than measurement-bound.  Layered over
+        ``defaults`` but under caller kwargs, so an explicit option
+        always wins.
     default_scale, default_seeds:
         The scale profile and root seed a bare ``run()``/``spec()``
         uses (applied when the caller passes neither) — the paper's own
@@ -111,6 +118,7 @@ class Artifact:
     renderer: Callable[[ExperimentResult], str] = ExperimentResult.render
     description: str = ""
     defaults: Mapping[str, object] = field(default_factory=dict)
+    xl_defaults: Mapping[str, object] = field(default_factory=dict)
     default_scale: float = 1.0
     default_seeds: Tuple[int, ...] = (0,)
     multi_seed: bool = False
@@ -134,6 +142,10 @@ class Artifact:
         # named profiles ("xl", "paper") resolve to numbers here, so every
         # spec builder keeps seeing a plain float
         merged["scale"] = resolve_scale(merged["scale"])
+        if merged["scale"] >= SCALE_PROFILES["xl"]:
+            for k, v in self.xl_defaults.items():
+                if k not in kwargs:
+                    merged[k] = v
         merged.setdefault("seed", self.default_seeds[0])
         build = _accepted(self.build_spec)
         reduce_ = _accepted(self.reduce)
@@ -290,6 +302,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.fig05_spec,
             figures.reduce_fig05,
             description="Reachability distribution vs neighborhood radius",
+            xl_defaults={"num_sources": 400},
         ),
         _snapshot(
             "fig06",
@@ -298,6 +311,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.fig06_spec,
             figures.reduce_fig06,
             description="Reachability distribution vs contact distance",
+            xl_defaults={"num_sources": 400},
         ),
         _snapshot(
             "fig07",
@@ -306,6 +320,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.fig07_spec,
             figures.reduce_fig07,
             description="Reachability distribution vs number of contacts",
+            xl_defaults={"num_sources": 400},
         ),
         _snapshot(
             "fig08",
@@ -314,6 +329,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.fig08_spec,
             figures.reduce_fig08,
             description="Reachability distribution vs depth of search",
+            xl_defaults={"num_sources": 400},
         ),
         _snapshot(
             "fig09",
@@ -322,6 +338,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.fig09_spec,
             figures.reduce_fig09,
             description="Density-matched sizes with per-size tuned (R, r, NoC)",
+            xl_defaults={"num_sources": 400},
         ),
         _series(
             "fig10",
@@ -330,6 +347,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.fig10_spec,
             figures.reduce_fig10,
             description="Maintenance overhead over time vs NoC",
+            xl_defaults={"num_sources": 250, "duration": 6.0},
         ),
         _series(
             "fig11",
@@ -338,6 +356,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.fig11_spec,
             figures.reduce_fig11,
             description="Total overhead over time vs contact distance",
+            xl_defaults={"num_sources": 250, "duration": 6.0},
         ),
         _series(
             "fig12",
@@ -346,6 +365,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.fig12_spec,
             figures.reduce_fig12,
             description="Backtracking component of the Fig 11 runs",
+            xl_defaults={"num_sources": 250, "duration": 6.0},
         ),
         _series(
             "fig13",
@@ -354,6 +374,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.fig13_spec,
             figures.reduce_fig13,
             description="Maintenance decay as sources settle on stable contacts",
+            xl_defaults={"num_sources": 250, "duration": 10.0},
         ),
         _snapshot(
             "fig14",
@@ -402,6 +423,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.ablation_query_spec,
             figures.reduce_ablation_query,
             description="Directed DSQ vs TTL-escalated flooding (+ dedup)",
+            xl_defaults={"num_queries": 60, "num_sources": 400},
         ),
         _series(
             "ablation_mobility",
@@ -418,6 +440,7 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.ablation_failures_spec,
             figures.reduce_ablation_failures,
             description="Query success before/after a crash wave and repair",
+            xl_defaults={"num_queries": 60, "num_sources": 400},
         ),
         _snapshot(
             "ablation_edge_policy",

@@ -10,6 +10,11 @@ Every scaling PR changes the cost trajectory of the same hot paths:
 * **sparse** — the CSR membership backend vs the dense band at
   N ∈ {1k, 5k, 10k}: bit-identical answers, O(N·ball) memory instead of
   O(N²) (the ratio is the gated "speedup" — it is machine-independent);
+* **query** — the batched query engine at N ∈ {1k, 5k, 10k}: frontier-
+  batched CSQ walks (``select_contacts_many``) and fabric-backed DSQ
+  workloads (``query_many``) vs the per-source reference loops, parity-
+  checked while timing (identical tables, ``QueryResult`` lists and
+  traffic accounting);
 * **xl** — one N=10⁴ snapshot artifact (``fig07`` at the ``xl`` scale
   profile) built end-to-end through ``repro.api`` on the sparse
   ``DistanceView`` substrate, with peak memory reported.  The seed-era
@@ -71,6 +76,7 @@ __all__ = [
     "bench_substrate",
     "bench_mobility",
     "bench_obs",
+    "bench_query",
     "bench_sparse",
     "bench_xl",
     "write_report",
@@ -501,6 +507,142 @@ def bench_obs(
         "host": _host(),
         "peak_rss_kb": _peak_rss_kb(),
         "cases": [case],
+    }
+
+
+# ----------------------------------------------------------------------
+# query engine: batched CSQ walks + DSQ workloads vs per-source paths
+# ----------------------------------------------------------------------
+def bench_query(
+    *,
+    sizes: Sequence[int] = (1000, 5000, 10000),
+    depth: int = 3,
+    num_queries: int = 200,
+    walk_sources: int = 200,
+    repeats: int = 3,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Batched query engine vs the per-source reference paths.
+
+    Two cases per network size, both parity-checked while timing:
+
+    * ``csq_walks_n{N}`` — contact-selection bootstrap for a fixed
+      source sample: ``BatchedContactSelector.select_contacts_many``
+      (candidate) vs the sequential per-source walks (reference), on
+      twin protocol instances with identical RNG streams.  The resulting
+      tables and network statistics must be bit-identical.
+    * ``query_engine_n{N}`` — a depth-``depth`` DSQ workload over the
+      full contact structure: ``QueryEngine.query_many`` (candidate) vs
+      a ``query()`` loop (reference) on the same engine; the
+      ``QueryResult`` lists must compare equal, which covers message
+      accounting down to the discovered routes.  Both paths are warmed
+      on a workload prefix first, so the candidate's ``_QueryFabric``
+      freeze is amortized the way a campaign workload amortizes it.
+
+    Workload knobs are identical in quick and full mode (only ``sizes``
+    shrinks), so the quick CI sweep gates against the committed full
+    baseline on the intersecting case names.
+    """
+    from repro.core.params import CARDParams, SelectionMethod
+    from repro.core.protocol import CARDProtocol
+    from repro.net.network import Network
+
+    cases: List[Dict[str, object]] = []
+    for n in sizes:
+        n = int(n)
+        topo = _topology(n)
+        params = CARDParams(
+            R=3, r=10, noc=5, method=SelectionMethod.PM, depth=int(depth)
+        )
+        card_seq = CARDProtocol(Network(topo), params, seed=0)
+        card_bat = CARDProtocol(Network(topo), params, seed=0)
+
+        sample = sorted(
+            {int(s) for s in np.linspace(0, n - 1, num=min(walk_sources, n))}
+        )
+        # bootstrap mutates the tables, so each mode runs exactly once
+        seq_s, seq_peak, res_seq = _timed(
+            lambda: card_seq.bootstrap(sample, batched=False), 1
+        )
+        bat_s, bat_peak, res_bat = _timed(lambda: card_bat.bootstrap(sample), 1)
+        for s in sample:  # pragma: no branch - parity guard
+            a, b = res_seq[s], res_bat[s]
+            if (
+                a.attempts != b.attempts
+                or a.forward_msgs != b.forward_msgs
+                or a.table.ids() != b.table.ids()
+                or [c.path for c in a.table] != [c.path for c in b.table]
+            ):
+                raise AssertionError(f"batched walk diverged at N={n}, s={s}")
+        if (
+            card_seq.network.stats.snapshot()
+            != card_bat.network.stats.snapshot()
+        ):  # pragma: no cover - parity guard
+            raise AssertionError(f"walk traffic accounting diverged at N={n}")
+        cases.append(
+            {
+                "name": f"csq_walks_n{n}",
+                "n": n,
+                "num_sources": len(sample),
+                "reference_seconds": seq_s,
+                "candidate_seconds": bat_s,
+                "speedup": seq_s / bat_s if bat_s > 0 else float("inf"),
+                "reference_peak_bytes": int(seq_peak),
+                "candidate_peak_bytes": int(bat_peak),
+                "walks_per_second": (
+                    len(sample) / bat_s if bat_s > 0 else float("inf")
+                ),
+            }
+        )
+
+        # queries escalate through other holders' tables, so the query
+        # case needs the full contact structure (built untimed, batched)
+        rest = [s for s in range(n) if s not in set(sample)]
+        card_bat.bootstrap(rest)
+        engine = card_bat.query_engine
+        wl_rng = np.random.default_rng(n)
+        pairs = [
+            (int(wl_rng.integers(n)), int(wl_rng.integers(n)))
+            for _ in range(num_queries)
+        ]
+        warm_seq = [engine.query(s, t) for s, t in pairs[:20]]
+        warm_bat = engine.query_many(pairs[:20])
+        if warm_seq != warm_bat:  # pragma: no cover - parity guard
+            raise AssertionError(f"query warmup diverged at N={n}")
+        seq_s, seq_peak, out_seq = _timed(
+            lambda: [engine.query(s, t) for s, t in pairs], repeats
+        )
+        bat_s, bat_peak, out_bat = _timed(
+            lambda: engine.query_many(pairs), repeats
+        )
+        if out_seq != out_bat:  # pragma: no cover - parity guard
+            raise AssertionError(f"batched queries diverged at N={n}")
+        cases.append(
+            {
+                "name": f"query_engine_n{n}",
+                "n": n,
+                "depth": int(depth),
+                "num_queries": int(num_queries),
+                "reference_seconds": seq_s,
+                "candidate_seconds": bat_s,
+                "speedup": seq_s / bat_s if bat_s > 0 else float("inf"),
+                "reference_peak_bytes": int(seq_peak),
+                "candidate_peak_bytes": int(bat_peak),
+                "reference_queries_per_second": (
+                    num_queries / seq_s if seq_s > 0 else float("inf")
+                ),
+                "candidate_queries_per_second": (
+                    num_queries / bat_s if bat_s > 0 else float("inf")
+                ),
+            }
+        )
+    return {
+        "bench": "query",
+        "schema_version": SCHEMA_VERSION,
+        "quick": bool(quick),
+        "host": _host(),
+        "peak_rss_kb": _peak_rss_kb(),
+        "cases": cases,
     }
 
 

@@ -2,7 +2,7 @@
 
 Examples
 --------
-Produce the JSON artifacts (full sweep, ~a minute)::
+Produce the JSON artifacts (full sweep, several minutes)::
 
     card-bench run --out benchmarks/baselines
 
@@ -27,6 +27,7 @@ from typing import Optional
 from repro.bench import (
     bench_mobility,
     bench_obs,
+    bench_query,
     bench_sparse,
     bench_substrate,
     bench_xl,
@@ -37,7 +38,7 @@ from repro.bench import (
 __all__ = ["main"]
 
 #: Every bench the harness runs and gates, in execution order.
-BENCHES = ("substrate", "mobility", "sparse", "xl", "obs")
+BENCHES = ("substrate", "mobility", "sparse", "query", "xl", "obs")
 
 #: Reduced sweep for CI: a strict subset of the full sweep so a quick run
 #: gates against committed full baselines on the intersecting case names,
@@ -45,9 +46,11 @@ BENCHES = ("substrate", "mobility", "sparse", "xl", "obs")
 QUICK_SIZES_SUBSTRATE = (250, 500)
 QUICK_SIZES_MOBILITY = (500,)
 QUICK_SIZES_SPARSE = (1000,)
+QUICK_SIZES_QUERY = (1000,)
 FULL_SIZES_SUBSTRATE = (250, 500, 1000)
 FULL_SIZES_MOBILITY = (500, 1000)
 FULL_SIZES_SPARSE = (1000, 5000, 10000)
+FULL_SIZES_QUERY = (1000, 5000, 10000)
 
 
 def _cmd_run(args) -> int:
@@ -69,6 +72,7 @@ def _cmd_run(args) -> int:
     sub_sizes = QUICK_SIZES_SUBSTRATE if quick else FULL_SIZES_SUBSTRATE
     mob_sizes = QUICK_SIZES_MOBILITY if quick else FULL_SIZES_MOBILITY
     sparse_sizes = QUICK_SIZES_SPARSE if quick else FULL_SIZES_SPARSE
+    query_sizes = QUICK_SIZES_QUERY if quick else FULL_SIZES_QUERY
     repeats = 2 if quick else 3
     steps = 5 if quick else 10
 
@@ -106,6 +110,17 @@ def _cmd_run(args) -> int:
             f"({case['speedup']:.1f}x smaller; build "
             f"{case['reference_seconds'] * 1e3:.0f} -> "
             f"{case['candidate_seconds'] * 1e3:.0f} ms)"
+        )
+
+    print(f"card-bench: query engine sweep N={list(query_sizes)} ...", flush=True)
+    query = bench_query(sizes=query_sizes, repeats=repeats, quick=quick)
+    path = write_report(query, out)
+    print(f"wrote {path}")
+    for case in query["cases"]:
+        print(
+            f"  {case['name']}: per-source {case['reference_seconds'] * 1e3:.1f} ms, "
+            f"batched {case['candidate_seconds'] * 1e3:.1f} ms "
+            f"({case['speedup']:.1f}x)"
         )
 
     print("card-bench: xl smoke (fig07 at N=10^4, end to end) ...", flush=True)

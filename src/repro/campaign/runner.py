@@ -275,6 +275,7 @@ def _query_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
     )
     if scheme == "ring":
         engine = ExpandingRingDiscovery(Network(topo))
+        results = [engine.query(s, t) for s, t in workload]
     else:
         net = Network(topo)
         card = CARDProtocol(net, params, seed=cell.seed)
@@ -286,12 +287,9 @@ def _query_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
             card.contact_tables,
             dedup=(scheme == "dsq"),
         )
-    msgs = 0
-    successes = 0
-    for s, t in workload:
-        res = engine.query(s, t)
-        msgs += res.msgs
-        successes += int(res.success)
+        results = engine.query_many(workload)
+    msgs = sum(r.msgs for r in results)
+    successes = sum(int(r.success) for r in results)
     return {
         "query_msgs": int(msgs),
         "query_successes": int(successes),
@@ -313,14 +311,15 @@ def _failures_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
     )
 
     def run_queries() -> Tuple[int, int]:
-        ok = 0
-        msgs = 0
-        for s, t in workload:
-            if not (topo.is_active(s) and topo.is_active(t)):
-                continue  # dead endpoints are not the protocol's failure
-            res = card.query(s, t)
-            ok += int(res.success)
-            msgs += res.msgs
+        # dead endpoints are not the protocol's failure
+        live = [
+            (s, t)
+            for s, t in workload
+            if topo.is_active(s) and topo.is_active(t)
+        ]
+        results = card.query_many(live)
+        ok = sum(int(r.success) for r in results)
+        msgs = sum(r.msgs for r in results)
         return ok, msgs
 
     ok0, msgs0 = run_queries()

@@ -140,6 +140,7 @@ class ContactMaintainer:
             if out.ok and out.new_path is not None:
                 contact.path = out.new_path
                 contact.validations += 1
+                table.touch()
             else:
                 table.remove(contact.node)
         return outcomes

@@ -21,7 +21,12 @@ import numpy as np
 from repro import obs
 from repro.core.params import CARDParams
 from repro.core.protocol import CARDProtocol
-from repro.core.reachability import contact_ids_map, reachability_all, reachability_distribution
+from repro.core.reachability import (
+    PackedMembership,
+    contact_ids_map,
+    reachability_all,
+    reachability_distribution,
+)
 from repro.core.selection import SourceSelectionResult
 from repro.des.engine import Simulator
 from repro.des.process import PeriodicProcess
@@ -191,13 +196,19 @@ class SnapshotRunner:
         mean_backtrack)``.
         """
         membership = self.protocol.membership
+        # one packing serves every NoC prefix (contact sets only shrink)
+        packed = PackedMembership.from_membership(membership)
         rows = []
         for k in noc_values:
             contacts = contact_ids_map(
                 self.protocol.contact_tables, max_contacts=int(k)
             )
             reach = reachability_all(
-                membership, contacts, self.sources, self.params.depth
+                membership,
+                contacts,
+                self.sources,
+                self.params.depth,
+                packed=packed,
             )
             fwd: List[int] = []
             back: List[int] = []

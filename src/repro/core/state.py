@@ -69,6 +69,9 @@ class ContactTable:
         #: lifetime counters for the stability analysis
         self.total_selected = 0
         self.total_lost = 0
+        #: bumped on any mutation (add/remove/route rewrite) so cached
+        #: views of the table can revalidate cheaply
+        self.version = 0
 
     # ------------------------------------------------------------------
     def add(self, contact: Contact) -> None:
@@ -78,13 +81,19 @@ class ContactTable:
             raise ValueError(f"node {contact.node} is already a contact")
         self._contacts.append(contact)
         self.total_selected += 1
+        self.version += 1
 
     def remove(self, node: int) -> Contact:
         for i, c in enumerate(self._contacts):
             if c.node == node:
                 self.total_lost += 1
+                self.version += 1
                 return self._contacts.pop(i)
         raise KeyError(node)
+
+    def touch(self) -> None:
+        """Signal an in-place mutation of a stored contact (route rewrite)."""
+        self.version += 1
 
     def has(self, node: int) -> bool:
         return any(c.node == node for c in self._contacts)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.protocol import CARDProtocol
 
@@ -52,6 +52,16 @@ class DiscoveryScheme(abc.ABC):
     def query(self, source: int, target: int) -> DiscoveryResult:
         """Attempt to discover ``target`` from ``source``."""
 
+    def query_batch(
+        self, workload: Sequence[Tuple[int, int]]
+    ) -> List[DiscoveryResult]:
+        """Run a whole workload; schemes with a batched engine override this.
+
+        The default simply loops :meth:`query`, so every scheme accepts a
+        workload and the comparison harness stays scheme-agnostic.
+        """
+        return [self.query(int(s), int(t)) for s, t in workload]
+
     def prepare(self) -> int:
         """Build whatever standing state the scheme needs (contacts, zones).
 
@@ -85,3 +95,19 @@ class CARDDiscoveryAdapter(DiscoveryScheme):
         return DiscoveryResult(
             source, target, res.success, res.msgs, detail=depth
         )
+
+    def query_batch(
+        self, workload: Sequence[Tuple[int, int]]
+    ) -> List[DiscoveryResult]:
+        return [
+            DiscoveryResult(
+                res.source,
+                res.target,
+                res.success,
+                res.msgs,
+                detail=(
+                    "miss" if res.depth_found is None else f"D={res.depth_found}"
+                ),
+            )
+            for res in self.protocol.query_many(workload, max_depth=self.max_depth)
+        ]

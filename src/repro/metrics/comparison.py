@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.discovery.base import DiscoveryResult, DiscoveryScheme
+from repro.discovery.base import DiscoveryScheme
 
 __all__ = ["ComparisonRow", "SchemeComparison"]
 
@@ -67,8 +67,7 @@ class SchemeComparison:
             successes = 0
             msgs = 0
             events = 0
-            for source, target in workload:
-                res: DiscoveryResult = scheme.query(int(source), int(target))
+            for res in scheme.query_batch(workload):
                 successes += int(res.success)
                 msgs += res.msgs
                 events += res.radio_events

@@ -101,6 +101,25 @@ class Network:
         t = self.sim.now if time is None else time
         self.stats.record(k, transmitter, time=t)
 
+    def transmit_path(
+        self,
+        message: Message,
+        transmitters: Sequence[int],
+        *,
+        kind: Optional[MessageKind] = None,
+        time: Optional[float] = None,
+    ) -> None:
+        """Account one transmission per entry of ``transmitters`` at once.
+
+        The bulk counterpart of :meth:`transmit` for the batched engines:
+        a walk or query accumulates its hop transmitters and flushes them
+        in one call, with repeats allowed.  Counters end up identical to
+        per-hop :meth:`transmit` calls at the same clock reading.
+        """
+        k = kind if kind is not None else message.kind
+        t = self.sim.now if time is None else time
+        self.stats.record_many(k, transmitters, time=t)
+
     # ------------------------------------------------------------------
     # communication primitives
     # ------------------------------------------------------------------

@@ -81,6 +81,32 @@ class MessageStats:
         if time is not None:
             self._series[kind][int(time // self.time_bin)] += count
 
+    def record_many(
+        self,
+        kind: MessageKind,
+        transmitters: Sequence[int],
+        time: Optional[float] = None,
+    ) -> None:
+        """Record one transmission per entry of ``transmitters`` at ``time``.
+
+        The bulk twin of :meth:`record` for the batched engines: repeats
+        are allowed (a node transmitting k hops appears k times) and land
+        via ``np.add.at``, so per-node attribution, totals and the time
+        series are all identical to k individual :meth:`record` calls —
+        just without k rounds of Python dict traffic.
+        """
+        tx = np.asarray(transmitters, dtype=np.int64)
+        if tx.size == 0:
+            return
+        self._totals[kind] += int(tx.size)
+        arr = self._per_node.get(kind)
+        if arr is None:
+            arr = np.zeros(self.num_nodes, dtype=np.int64)
+            self._per_node[kind] = arr
+        np.add.at(arr, tx, 1)
+        if time is not None:
+            self._series[kind][int(time // self.time_bin)] += int(tx.size)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -258,7 +258,11 @@ def summarize(
         failed=failed,
         total_cell_seconds=total_cell_seconds,
         wall_span=wall_span,
-        cells_per_second=(len(recs) / wall_span) if wall_span > 0 else 0.0,
+        # throughput counts completed cells only — failed cells produced
+        # no result, so counting them would overstate the campaign rate
+        cells_per_second=(
+            (len(recs) - failed) / wall_span if wall_span > 0 else 0.0
+        ),
         workers=len(pids),
         phases=phases,
         counters={k: counters[k] for k in sorted(counters)},

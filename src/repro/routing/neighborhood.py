@@ -112,6 +112,21 @@ class NeighborhoodTables:
         """True iff ``v`` lies within R hops of ``u`` (including u itself)."""
         return self._view.contains(u, v)
 
+    def contains_many(self, u: int, nodes) -> np.ndarray:
+        """Vectorized :meth:`contains`: which of ``nodes`` are in u's zone.
+
+        One membership row probe answers every candidate at once — the
+        batched query engine's primitive for probing a whole contact
+        level against a target (hop distance is symmetric, so "is the
+        target in each contact's zone" equals "is each contact in the
+        target's zone").  Served without densification on the sparse
+        backend (scalar-row, vector-column probes are CSR-native).
+        """
+        ids = np.asarray(nodes, dtype=np.int64)
+        if ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        return np.asarray(self.membership[int(u), ids], dtype=bool)
+
     def members(self, u: int) -> np.ndarray:
         """IDs of all nodes in u's neighborhood (including u)."""
         return self._view.members(u)

@@ -481,3 +481,34 @@ class TestFigureCLI:
         ) == 1
         err = capsys.readouterr().err
         assert "unknown report format 'xml'" in err
+
+
+class TestXlScaleProfiles:
+    """Every query-family artifact must build (and stay bounded) at xl."""
+
+    QUERY_FAMILY = (
+        "fig05", "fig06", "fig07", "fig08", "fig09",
+        "fig10", "fig11", "fig12", "fig13",
+        "ablation_query", "ablation_failures",
+    )
+
+    def test_every_query_family_artifact_builds_at_xl(self):
+        for aid in self.QUERY_FAMILY:
+            spec = ARTIFACTS[aid].spec(scale="xl")
+            cells = spec.expand()
+            assert cells, aid
+            assert ARTIFACTS[aid].xl_defaults, aid
+
+    def test_xl_defaults_bound_the_measured_sample(self):
+        spec = ARTIFACTS["fig07"].spec(scale="xl")
+        assert spec.num_sources == 400
+        # a numeric scale at/above the xl profile triggers the same bounds
+        assert ARTIFACTS["fig07"].spec(scale=20.0).num_sources == 400
+
+    def test_explicit_option_beats_xl_default(self):
+        spec = ARTIFACTS["fig07"].spec(scale="xl", num_sources=25)
+        assert spec.num_sources == 25
+
+    def test_paper_scale_keeps_paper_knobs(self):
+        assert ARTIFACTS["fig07"].spec().num_sources is None
+        assert ARTIFACTS["fig10"].spec(scale=0.2).num_sources is None

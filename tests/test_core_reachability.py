@@ -7,12 +7,14 @@ from hypothesis import strategies as st
 
 from repro.core.reachability import (
     DIST_BIN_EDGES,
+    PackedMembership,
     contact_ids_map,
     reachability_all,
     reachability_distribution,
     reachability_percent,
 )
 from repro.core.state import Contact, ContactTable
+from repro.net.substrate import SparseMembership
 
 
 def line_membership(n, radius):
@@ -79,6 +81,105 @@ class TestReachabilityAll:
         subset = reachability_all(m, {}, [0, 5], 1)
         assert subset.shape == (2,)
         assert subset[0] == allv[0] and subset[1] == allv[5]
+
+
+def random_membership(n, seed, density=0.15):
+    """A random symmetric reflexive membership matrix (like a real band)."""
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n)) < density
+    m |= m.T
+    np.fill_diagonal(m, True)
+    return m
+
+
+def to_sparse(m):
+    """Dense bool matrix → the CSR membership backend."""
+    indptr = np.zeros(m.shape[0] + 1, dtype=np.int64)
+    np.cumsum(m.sum(axis=1), out=indptr[1:])
+    indices = np.concatenate([np.flatnonzero(row) for row in m]).astype(np.int64)
+    return SparseMembership(indptr, indices, m.shape[0])
+
+
+def random_contacts(n, seed, per_node=3):
+    rng = np.random.default_rng(seed + 1)
+    return {
+        int(u): [int(c) for c in rng.choice(n, size=per_node, replace=False)]
+        for u in rng.choice(n, size=n // 2, replace=False)
+    }
+
+
+class TestReachabilityAllPacked:
+    """The packed OR-reduction pass must equal the per-source reference."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500), depth=st.integers(0, 3))
+    def test_matches_reference_dense_and_sparse(self, seed, depth):
+        n = 60
+        m = random_membership(n, seed)
+        contacts = random_contacts(n, seed)
+        expected = np.array(
+            [reachability_percent(m, contacts, s, depth) for s in range(n)]
+        )
+        for member in (m, to_sparse(m)):
+            got = reachability_all(member, contacts, None, depth)
+            assert np.array_equal(got, expected)
+
+    def test_subset_matches_reference(self):
+        n = 80
+        m = random_membership(n, 7)
+        contacts = random_contacts(n, 7)
+        srcs = [3, 41, 77]
+        for depth in (0, 1, 2):
+            got = reachability_all(m, contacts, srcs, depth)
+            expected = np.array(
+                [reachability_percent(m, contacts, s, depth) for s in srcs]
+            )
+            assert np.array_equal(got, expected)
+
+    def test_prebuilt_packed_reused(self):
+        n = 50
+        m = random_membership(n, 3)
+        contacts = random_contacts(n, 3)
+        packed = PackedMembership.from_membership(m)
+        base = reachability_all(m, contacts, None, 1)
+        again = reachability_all(m, contacts, None, 1, packed=packed)
+        assert np.array_equal(base, again)
+
+    def test_packed_popcount_equals_row_sum(self):
+        m = random_membership(33, 11)  # n not a multiple of 64: padding bits
+        packed = PackedMembership.from_membership(m)
+        for u in range(33):
+            assert packed.popcount(packed.row(u)) == int(m[u].sum())
+
+    def test_non_integer_sources_rejected(self):
+        m = random_membership(10, 0)
+        with pytest.raises(TypeError):
+            reachability_all(m, {}, [1.5], 1)
+        with pytest.raises(TypeError):
+            reachability_all(m, {}, [np.float64(3.0)], 1)
+
+    def test_out_of_range_sources_rejected(self):
+        m = random_membership(10, 0)
+        with pytest.raises(ValueError):
+            reachability_all(m, {}, [10], 1)
+        with pytest.raises(ValueError):
+            reachability_all(m, {}, [-1], 1)
+
+    def test_depth_zero_short_circuit_no_densify(self):
+        m = random_membership(40, 5)
+        sparse = to_sparse(m)
+        got = reachability_all(sparse, {40 // 2: [1]}, None, 0)
+        expected = 100.0 * m.sum(axis=1).astype(float) / 40
+        assert np.array_equal(got, expected)
+
+    def test_numpy_integer_sources_accepted(self):
+        m = random_membership(12, 2)
+        got = reachability_all(m, {}, np.arange(5, dtype=np.int32), 1)
+        assert got.shape == (5,)
+
+    def test_empty_sources(self):
+        m = random_membership(10, 0)
+        assert reachability_all(m, {}, [], 1).shape == (0,)
 
 
 class TestDistribution:

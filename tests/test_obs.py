@@ -253,6 +253,29 @@ class TestSummary:
         assert phase.total == pytest.approx(2.0)
         assert phase.max == pytest.approx(1.5)
         assert s.counters == {"c": 3}
+        # throughput excludes the failed cell: 1 completed over 4s wall
+        assert s.cells_per_second == pytest.approx(0.25)
+
+    def test_cells_per_second_counts_completed_cells_only(self):
+        def rec(key, t_wall, error):
+            return {
+                "key": key, "pid": 1, "t_wall": t_wall, "elapsed": 1.0,
+                "error": error, "phases": {}, "counters": {}, "spans": [],
+            }
+
+        records = [
+            rec("a", 100.0, None),
+            rec("b", 101.0, "boom"),
+            rec("c", 102.0, None),
+            rec("d", 103.0, "boom"),
+        ]
+        s = summarize(records)
+        assert s.cells == 4 and s.failed == 2
+        assert s.wall_span == pytest.approx(4.0)  # 100.0 → 104.0
+        assert s.cells_per_second == pytest.approx(2 / 4.0)
+        # all-failed trace: zero throughput, not len(recs)/wall
+        all_failed = summarize([rec("a", 100.0, "x"), rec("b", 101.0, "y")])
+        assert all_failed.cells_per_second == pytest.approx(0.0)
 
     def test_slowest_orders_by_elapsed_with_key_tiebreak(self):
         records = [
