@@ -79,8 +79,9 @@ class Artifact:
     section:
         Paper anchor (``"§IV.A, Fig 7"``) or ``"extension"``.
     regime:
-        ``"snapshot"`` (static topology, one selection run per cell) or
-        ``"series"`` (mobility + maintenance, binned over time).
+        ``"snapshot"`` (static topology, one selection run per cell),
+        ``"series"`` (mobility + maintenance, binned over time) or
+        ``"des"`` (event-driven message-level simulation).
     build_spec:
         ``(**kwargs) -> CampaignSpec`` — the declarative sweep.
     reduce:
@@ -124,9 +125,9 @@ class Artifact:
     multi_seed: bool = False
 
     def __post_init__(self) -> None:
-        if self.regime not in ("snapshot", "series"):
+        if self.regime not in ("snapshot", "series", "des"):
             raise ValueError(
-                f"artifact {self.id!r}: regime must be snapshot|series, "
+                f"artifact {self.id!r}: regime must be snapshot|series|des, "
                 f"got {self.regime!r}"
             )
 
@@ -254,6 +255,13 @@ def _snapshot(id, title, section, build_spec, reduce, **kw) -> Artifact:
 def _series(id, title, section, build_spec, reduce, **kw) -> Artifact:
     return Artifact(
         id=id, title=title, section=section, regime="series",
+        build_spec=build_spec, reduce=reduce, **kw,
+    )
+
+
+def _des(id, title, section, build_spec, reduce, **kw) -> Artifact:
+    return Artifact(
+        id=id, title=title, section=section, regime="des",
         build_spec=build_spec, reduce=reduce, **kw,
     )
 
@@ -465,6 +473,16 @@ ARTIFACTS: Dict[str, Artifact] = {
             figures.mobility_rate_spec,
             figures.reduce_mobility_rate,
             description="Link churn, overhead and substrate refresh vs speed",
+        ),
+        _des(
+            "fig_des_latency",
+            "Extension — discovery latency under the event-driven regime",
+            "extension (ROADMAP: message-level DES regime)",
+            figures.fig_des_latency_spec,
+            figures.reduce_fig_des_latency,
+            description="Discovery latency/loss/staleness vs link latency",
+            xl_defaults={"num_sources": 250, "duration": 6.0,
+                         "num_queries": 60},
         ),
         _snapshot(
             "fig07_ci",

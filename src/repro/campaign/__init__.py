@@ -7,11 +7,13 @@ objects instead of bespoke per-figure loops:
 * :mod:`repro.campaign.spec` — :class:`CampaignSpec` describes the grid
   (plus :class:`CaseSpec` labeled variants for sweeps a Cartesian
   product can't express); every expanded :class:`CellSpec` is
-  content-hashed for stable identity.  Cells come in two regimes:
-  *snapshot* (static topology) and *time series* (a ``duration`` plus a
+  content-hashed for stable identity.  Cells come in three regimes:
+  *snapshot* (static topology), *time series* (a ``duration`` plus a
   declarative :class:`MobilitySpec` runs the full mobility + maintenance
   stack, recording binned ``series``/``contacts``/``churn`` metric
-  families);
+  families) and *event-driven* (a :class:`DesSpec` runs the
+  message-level DES with per-link latency/loss, recording the ``des``
+  family);
 * :mod:`repro.campaign.runner` — :class:`CampaignRunner` fans cells out
   over a process pool (``n_workers=1`` = deterministic in-process run);
 * :mod:`repro.campaign.store` — :class:`ResultStore`, an append-only
@@ -51,6 +53,7 @@ from repro.campaign.spec import (
     CampaignSpec,
     CaseSpec,
     CellSpec,
+    DesSpec,
     MobilitySpec,
     TopologySpec,
     content_hash,
@@ -67,6 +70,7 @@ __all__ = [
     "CampaignSpec",
     "CaseSpec",
     "CellSpec",
+    "DesSpec",
     "MobilitySpec",
     "TopologySpec",
     "content_hash",

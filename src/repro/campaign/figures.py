@@ -60,6 +60,7 @@ from repro.artifacts.tables import (
     OVERLAP_VARIANTS,
     PM_EQ_VARIANTS,
     TABLE1_HEADERS,
+    des_latency_table,
     distribution_table,
     failures_table,
     fig13_hop_params,
@@ -90,6 +91,7 @@ from repro.campaign.aggregate import labeled_metrics, require_metrics
 from repro.campaign.spec import (
     CampaignSpec,
     CaseSpec,
+    DesSpec,
     MobilitySpec,
     TopologySpec,
 )
@@ -121,6 +123,7 @@ __all__ = [
     "ablation_edge_policy_spec",
     "smallworld_spec",
     "mobility_rate_spec",
+    "fig_des_latency_spec",
     "fig07_ci_spec",
     "table1_ci_spec",
     # store reducers (legacy-table-identical)
@@ -148,6 +151,7 @@ __all__ = [
     "reduce_ablation_edge_policy",
     "reduce_smallworld",
     "reduce_mobility_rate",
+    "reduce_fig_des_latency",
     "reduce_fig07_ci",
     "reduce_table1_ci",
     "DEFAULT_CI_SEEDS",
@@ -1518,6 +1522,83 @@ def reduce_mobility_rate(
         raw[case.label] = m
     return mobility_rate_table(
         rows, churn_by, ovh_by, n=n, duration=duration, raw=raw
+    )
+
+
+# ----------------------------------------------------------------------
+# Extension — discovery latency under the event-driven regime
+# ----------------------------------------------------------------------
+def fig_des_latency_spec(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    latencies: Sequence[float] = (0.002, 0.01, 0.05),
+    loss: float = 0.01,
+    duration: float = 10.0,
+    num_queries: int = 30,
+    R: int = 3,
+    r: int = 10,
+    noc: int = 5,
+    num_sources: Optional[int] = None,
+) -> CampaignSpec:
+    """Discovery latency vs link latency: one ``des`` cell per link config.
+
+    Sweeps the per-link latency as labeled cases of the event-driven
+    regime under the default RWP mobility — each cell runs the
+    message-level DES (:class:`~repro.core.des_runner.DesRunner`), so
+    query replies race topology churn against the stale contact tables.
+    This artifact is campaign-native: it has no legacy oracle and exists
+    only through the artifact API.
+    """
+    n = scaled(500, scale, minimum=80)
+    cases = tuple(
+        CaseSpec(
+            label=f"lat={1000.0 * float(v):g}ms",
+            des=DesSpec(
+                latency=float(v),
+                loss=float(loss),
+                duration=float(duration),
+                num_queries=int(num_queries),
+            ),
+            topology=TopologySpec(
+                kind="standard", num_nodes=n, salt=("fig_des", f"{float(v):g}")
+            ),
+        )
+        for v in latencies
+    )
+    return CampaignSpec(
+        name="fig_des_latency",
+        description=(
+            "Extension — discovery latency under the event-driven regime"
+        ),
+        base_params={"R": R, "r": r, "noc": noc},
+        cases=cases,
+        seeds=(seed,),
+        metrics=("des",),
+        num_sources=num_sources,
+        mobility=_default_mobility(),
+    )
+
+
+def reduce_fig_des_latency(
+    spec: CampaignSpec, store: ResultStore
+) -> ExperimentResult:
+    """Event-driven latency table from stored cells."""
+    n = spec.cases[0].topology.num_nodes
+    by_label = labeled_metrics(spec, store)
+    labels = [c.label for c in spec.cases]
+    des = spec.cases[0].des
+    return des_latency_table(
+        labels,
+        {l: by_label[l] for l in labels},
+        n=n,
+        notes=[
+            f"{des.num_queries} queries per cell over {des.duration:g}s, "
+            f"loss={des.loss:g}, query timeout {des.query_timeout:g}s "
+            f"({des.retries} retries); RWP speeds {DEFAULT_SPEED} m/s, "
+            f"pause {DEFAULT_PAUSE}s",
+        ],
+        raw={l: by_label[l] for l in labels},
     )
 
 

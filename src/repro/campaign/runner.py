@@ -99,10 +99,17 @@ def execute_cell(cell: CellSpec) -> Dict[str, object]:
     Time-series families (``cell.duration``/``cell.mobility`` set) are
     produced by :meth:`~repro.core.runner.TimeSeriesResult.to_metrics`:
     ``series``, ``contacts`` and ``churn``.
+
+    Event-driven cells (``cell.des`` set) are produced by
+    :meth:`~repro.core.des_runner.DesResult.to_metrics`: the ``des``
+    family (discovery latency distribution, staleness/loss failure
+    split, overhead in messages and byte·seconds).
     """
     with obs.span("topology_build"):
         topo = cell.topology.build(cell.seed)
-    if cell.is_time_series:
+    if cell.is_des:
+        out = _execute_des(cell, topo)
+    elif cell.is_time_series:
         out = _execute_series(cell, topo)
     else:
         out = _execute_snapshot(cell, topo)
@@ -112,6 +119,32 @@ def execute_cell(cell: CellSpec) -> Dict[str, object]:
         for name, value in topo.substrate_stats().items():
             obs.set_counter(f"substrate_{name}", value)
     return out
+
+
+def _execute_des(cell: CellSpec, topo: Topology) -> Dict[str, object]:
+    """Event-driven regime: message-level DES with per-link latency/loss."""
+    from repro.core.des_runner import DesRunner
+
+    params = cell.resolved_params()
+    sources = sample_sources(topo.num_nodes, cell.num_sources, cell.seed)
+    des = cell.des
+    assert des is not None  # guaranteed by CellSpec._validate_regime
+    runner = DesRunner(
+        topo,
+        params,
+        link=des.link_spec(),
+        duration=des.duration,
+        num_queries=des.num_queries,
+        query_timeout=des.query_timeout,
+        retries=des.retries,
+        seed=cell.seed,
+        sources=sources,
+        mobility_factory=(
+            cell.mobility.factory() if cell.mobility is not None else None
+        ),
+    )
+    with obs.span("des_run"):
+        return runner.run().to_metrics(cell.metrics)
 
 
 def _execute_series(cell: CellSpec, topo: Topology) -> Dict[str, object]:

@@ -60,9 +60,11 @@ __all__ = [
     "METRIC_FAMILIES",
     "SNAPSHOT_METRIC_FAMILIES",
     "SERIES_METRIC_FAMILIES",
+    "DES_METRIC_FAMILIES",
     "EXCLUSIVE_METRIC_FAMILIES",
     "MOBILITY_MODELS",
     "MobilitySpec",
+    "DesSpec",
     "TopologySpec",
     "CaseSpec",
     "CellSpec",
@@ -97,6 +99,11 @@ SERIES_METRIC_FAMILIES = (
     "churn",     # per-mobility-step link churn + substrate refresh stats
 )
 
+#: Metric family recorded by event-driven cells (require a
+#: :class:`DesSpec`): discovery latency distribution, staleness-induced
+#: query failures, and overhead in messages *and* byte-seconds.
+DES_METRIC_FAMILIES = ("des",)
+
 #: Families that must be a cell's *only* family: they drive their own
 #: protocol deployment (bootstrap/workload), so combining them with the
 #: SnapshotRunner families would measure two different runs in one cell.
@@ -105,7 +112,9 @@ EXCLUSIVE_METRIC_FAMILIES = frozenset(
 )
 
 #: All metric families a cell can record.
-METRIC_FAMILIES = SNAPSHOT_METRIC_FAMILIES + SERIES_METRIC_FAMILIES
+METRIC_FAMILIES = (
+    SNAPSHOT_METRIC_FAMILIES + SERIES_METRIC_FAMILIES + DES_METRIC_FAMILIES
+)
 
 #: Keys a cell workload mapping may carry.
 WORKLOAD_KEYS = frozenset({"num_queries", "scheme", "fail_fraction"})
@@ -270,6 +279,99 @@ class MobilitySpec:
 _MOBILITY_DEFAULTS = {
     f.name: f.default for f in MobilitySpec.__dataclass_fields__.values()
 }
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DesSpec:
+    """Declarative knobs of the event-driven (``des``) regime.
+
+    Mirrors :class:`MobilitySpec`'s role: a validated, content-hashed
+    bundle the runner turns into a :class:`~repro.net.link.LinkSpec` plus
+    :class:`~repro.core.des_runner.DesRunner` arguments.  The regime's
+    ``duration`` lives here (not on the cell) because an event-driven run
+    is meaningless without a horizon even on a static topology.
+    """
+
+    #: fixed per-hop delay (s)
+    latency: float = 0.002
+    #: uniform extra per-hop delay bound (s); 0 = none
+    jitter: float = 0.0
+    #: per-transmission drop probability
+    loss: float = 0.0
+    #: bytes/second serialization term; None disables it
+    bandwidth: Optional[float] = None
+    #: simulated seconds after bootstrap
+    duration: float = 10.0
+    #: workload size (queries launched over ``[0.2, 0.8] × duration``)
+    num_queries: int = 20
+    #: seconds a query waits for its reply before retrying/failing
+    query_timeout: float = 1.0
+    #: extra attempts after the first timeout
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        for f in ("latency", "jitter", "loss"):
+            value = float(getattr(self, f))
+            if value < 0:
+                raise ValueError(f"des {f} must be >= 0")
+            object.__setattr__(self, f, value)
+        if self.loss > 1.0:
+            raise ValueError("des loss is a probability (<= 1)")
+        if self.bandwidth is not None:
+            if float(self.bandwidth) <= 0:
+                raise ValueError("des bandwidth must be positive (or None)")
+            object.__setattr__(self, "bandwidth", float(self.bandwidth))
+        for f in ("duration", "query_timeout"):
+            value = float(getattr(self, f))
+            if value <= 0:
+                raise ValueError(f"des {f} must be positive")
+            object.__setattr__(self, f, value)
+        if not isinstance(self.num_queries, numbers.Integral) or self.num_queries < 0:
+            raise ValueError("des num_queries must be an integer >= 0")
+        object.__setattr__(self, "num_queries", int(self.num_queries))
+        if not isinstance(self.retries, numbers.Integral) or self.retries < 0:
+            raise ValueError("des retries must be an integer >= 0")
+        object.__setattr__(self, "retries", int(self.retries))
+
+    # ------------------------------------------------------------------
+    def link_spec(self):
+        """The :class:`~repro.net.link.LinkSpec` these knobs describe."""
+        from repro.net.link import LinkSpec
+
+        return LinkSpec(
+            latency=self.latency,
+            jitter=self.jitter,
+            loss=self.loss,
+            bandwidth=self.bandwidth,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "latency": float(self.latency),
+            "jitter": float(self.jitter),
+            "loss": float(self.loss),
+            "duration": float(self.duration),
+            "num_queries": int(self.num_queries),
+            "query_timeout": float(self.query_timeout),
+            "retries": int(self.retries),
+        }
+        if self.bandwidth is not None:
+            out["bandwidth"] = float(self.bandwidth)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DesSpec":
+        kwargs = dict(data)
+        unknown = set(kwargs) - {
+            f.name for f in cls.__dataclass_fields__.values()  # type: ignore[attr-defined]
+        }
+        if unknown:
+            raise ValueError(
+                f"unknown des keys {sorted(unknown)}; known: "
+                f"{sorted(f.name for f in cls.__dataclass_fields__.values())}"  # type: ignore[attr-defined]
+            )
+        return cls(**kwargs)  # type: ignore[arg-type]
 
 
 # ----------------------------------------------------------------------
@@ -442,9 +544,16 @@ class CellSpec:
 
     A cell is a **snapshot** cell by default; setting ``duration`` and
     ``mobility`` makes it a **time-series** cell (mobility + periodic
-    maintenance, metrics binned over time).  The extra fields are only
-    serialised when set, so snapshot cells keep their pre-extension
-    content hashes.
+    maintenance, metrics binned over time); setting ``des`` makes it an
+    **event-driven** cell (message-level simulation with per-link
+    latency/loss — the regime's duration lives inside :class:`DesSpec`,
+    and ``mobility`` is optional).  The extra fields are only serialised
+    when set, so snapshot cells keep their pre-extension content hashes.
+
+    ``regime`` is a redundant declaration (``"snapshot" | "series" |
+    "des"``) checked against what the other fields imply — it never
+    enters the hash, it just catches a cell wired half-way into a
+    regime at construction time instead of at execution time.
     """
 
     topology: TopologySpec
@@ -462,6 +571,11 @@ class CellSpec:
     #: to bound the measured sample (depth ≥ 2 reachability follows
     #: contacts of non-source nodes — Fig 8's regime)
     full_selection: bool = False
+    #: event-driven regime knobs (event-driven cells only)
+    des: Optional[DesSpec] = None
+    #: optional declared regime, validated against the derived one;
+    #: normalised to the derived regime and never serialised
+    regime: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -497,9 +611,39 @@ class CellSpec:
                 "deployment and must be a cell's only family "
                 f"(got {sorted(self.metrics)})"
             )
+        if self.des is not None:
+            if self.duration is not None:
+                raise ValueError(
+                    "event-driven cells take their duration from "
+                    "DesSpec.duration; do not set CellSpec.duration"
+                )
+            if set(self.metrics) != set(DES_METRIC_FAMILIES):
+                raise ValueError(
+                    "event-driven cells record exactly the "
+                    f"{DES_METRIC_FAMILIES} metric family "
+                    f"(got {sorted(self.metrics)})"
+                )
+            if self.workload is not None:
+                raise ValueError(
+                    "event-driven cells size their workload via "
+                    "DesSpec.num_queries; do not set workload"
+                )
+            if self.full_selection:
+                raise ValueError(
+                    "full_selection only applies to snapshot cells"
+                )
+            self._check_declared_regime("des")
+            return
+        if "des" in self.metrics:
+            raise ValueError(
+                "the des metric family needs des=DesSpec(...) on the cell"
+            )
         if self.mobility is not None and self.duration is None:
             raise ValueError("mobility given but no duration: set both "
                              "to make this a time-series cell")
+        self._check_declared_regime(
+            "series" if self.duration is not None else "snapshot"
+        )
         if self.duration is not None:
             if float(self.duration) <= 0:
                 raise ValueError("duration must be positive")
@@ -524,6 +668,15 @@ class CellSpec:
                 f"time-series metric families {sorted(series)} need "
                 "duration and mobility"
             )
+
+    def _check_declared_regime(self, derived: str) -> None:
+        """Check an explicit ``regime`` against the derived one, then pin it."""
+        if self.regime is not None and self.regime != derived:
+            raise ValueError(
+                f"cell declares regime={self.regime!r} but its fields "
+                f"imply {derived!r}"
+            )
+        object.__setattr__(self, "regime", derived)
 
     def _validate_workload(self) -> None:
         families = set(self.metrics) & {"comparison", "query", "failures"}
@@ -564,6 +717,10 @@ class CellSpec:
     def is_time_series(self) -> bool:
         return self.duration is not None
 
+    @property
+    def is_des(self) -> bool:
+        return self.des is not None
+
     def resolved_params(self) -> CARDParams:
         """The full CARD parameter set this cell runs with."""
         return CARDParams.from_dict(self.params)
@@ -586,6 +743,9 @@ class CellSpec:
             out["workload"] = dict(self.workload)
         if self.full_selection:
             out["full_selection"] = True
+        if self.des is not None:
+            out["des"] = self.des.to_dict()
+        # ``regime`` is derived — never serialised, never hashed.
         return out
 
     @classmethod
@@ -595,6 +755,8 @@ class CellSpec:
         kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])  # type: ignore[arg-type]
         if kwargs.get("mobility") is not None:
             kwargs["mobility"] = MobilitySpec.from_dict(kwargs["mobility"])  # type: ignore[arg-type]
+        if kwargs.get("des") is not None:
+            kwargs["des"] = DesSpec.from_dict(kwargs["des"])  # type: ignore[arg-type]
         if "metrics" in kwargs:
             kwargs["metrics"] = tuple(kwargs["metrics"])  # type: ignore[arg-type]
         return cls(**kwargs)  # type: ignore[arg-type]
@@ -624,6 +786,7 @@ class CaseSpec:
     topology: Optional[TopologySpec] = None
     mobility: Optional[MobilitySpec] = None
     workload: Optional[Mapping[str, object]] = None
+    des: Optional[DesSpec] = None
 
     def __post_init__(self) -> None:
         if not self.label or not isinstance(self.label, str):
@@ -651,6 +814,8 @@ class CaseSpec:
             out["mobility"] = self.mobility.to_dict()
         if self.workload is not None:
             out["workload"] = dict(self.workload)
+        if self.des is not None:
+            out["des"] = self.des.to_dict()
         return out
 
     @classmethod
@@ -660,6 +825,8 @@ class CaseSpec:
             kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])  # type: ignore[arg-type]
         if kwargs.get("mobility") is not None:
             kwargs["mobility"] = MobilitySpec.from_dict(kwargs["mobility"])  # type: ignore[arg-type]
+        if kwargs.get("des") is not None:
+            kwargs["des"] = DesSpec.from_dict(kwargs["des"])  # type: ignore[arg-type]
         return cls(**kwargs)  # type: ignore[arg-type]
 
 
@@ -696,6 +863,9 @@ class CampaignSpec:
     duration, mobility:
         Switch the campaign's cells to the time-series regime
         (:class:`MobilitySpec` may also come per case).
+    des:
+        Switch the campaign's cells to the event-driven regime
+        (:class:`DesSpec` may also come per case; a case's spec wins).
     workload:
         Query-workload knobs shared by every cell; a case's workload is
         merged on top.
@@ -715,6 +885,7 @@ class CampaignSpec:
     mobility: Optional[MobilitySpec] = None
     workload: Optional[Mapping[str, object]] = None
     full_selection: bool = False
+    des: Optional[DesSpec] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -796,6 +967,11 @@ class CampaignSpec:
                 if case is not None and case.mobility is not None
                 else self.mobility
             )
+            des = (
+                case.des
+                if case is not None and case.des is not None
+                else self.des
+            )
             workload: Optional[Dict[str, object]] = None
             if self.workload is not None or (
                 case is not None and case.workload is not None
@@ -825,6 +1001,7 @@ class CampaignSpec:
                                     mobility=mobility,
                                     workload=workload,
                                     full_selection=self.full_selection,
+                                    des=des,
                                 ),
                             )
                         )
@@ -885,6 +1062,8 @@ class CampaignSpec:
             out["workload"] = dict(self.workload)
         if self.full_selection:
             out["full_selection"] = True
+        if self.des is not None:
+            out["des"] = self.des.to_dict()
         return out
 
     @classmethod
@@ -905,6 +1084,8 @@ class CampaignSpec:
             )
         if kwargs.get("mobility") is not None:
             kwargs["mobility"] = MobilitySpec.from_dict(kwargs["mobility"])  # type: ignore[arg-type]
+        if kwargs.get("des") is not None:
+            kwargs["des"] = DesSpec.from_dict(kwargs["des"])  # type: ignore[arg-type]
         for key in ("seeds", "metrics"):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])  # type: ignore[arg-type]

@@ -20,7 +20,10 @@ Modules
   5 %-bin distribution;
 * :mod:`repro.core.runner` — :class:`SnapshotRunner` (static topology,
   Figs 3-9, 14) and :class:`TimeSeriesRunner` (mobility + maintenance,
-  Figs 10-13).
+  Figs 10-13);
+* :mod:`repro.core.des_runner` — :class:`DesRunner`, the event-driven
+  message-level regime (per-link latency/loss, query timeout/retry,
+  staleness races; the NS-2-style evaluation).
 """
 
 from repro.core.params import CARDParams, SelectionMethod
@@ -36,6 +39,7 @@ from repro.core.reachability import (
     DIST_BIN_EDGES,
 )
 from repro.core.runner import SnapshotRunner, SnapshotResult, TimeSeriesRunner, TimeSeriesResult
+from repro.core.des_runner import DesRunner, DesResult
 
 __all__ = [
     "CARDParams",
@@ -57,4 +61,6 @@ __all__ = [
     "SnapshotResult",
     "TimeSeriesRunner",
     "TimeSeriesResult",
+    "DesRunner",
+    "DesResult",
 ]

@@ -143,7 +143,13 @@ class Simulator:
 
         When stopping at ``until``, the clock is advanced *to* ``until`` so
         that a subsequent ``run(until=...)`` continues from a well-defined
-        point, mirroring NS-2's ``at``-driven runs.
+        point, mirroring NS-2's ``at``-driven runs.  This holds on *every*
+        exit path that leaves no work behind in ``[now, until]`` — in
+        particular when ``max_events`` fires after draining the queue.  The
+        one exception: when ``max_events`` stops the run with events still
+        pending at or before ``until``, the clock stays at the last
+        dispatched event, so resuming with another ``run`` dispatches the
+        backlog at its original timestamps instead of in the past.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
@@ -152,7 +158,7 @@ class Simulator:
         try:
             while True:
                 if max_events is not None and dispatched >= max_events:
-                    return
+                    break
                 nxt = self.peek()
                 if nxt is None:
                     break
@@ -160,7 +166,12 @@ class Simulator:
                     break
                 self.step()
                 dispatched += 1
-            if until is not None and until > self._now:
+            nxt = self.peek()
+            if (
+                until is not None
+                and until > self._now
+                and (nxt is None or nxt > until)
+            ):
                 self._now = float(until)
         finally:
             self._running = False

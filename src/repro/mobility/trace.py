@@ -78,11 +78,21 @@ def record_trace(
     """
     check_positive("horizon", horizon)
     check_positive("sample_dt", sample_dt)
+    # Absolute sample times by multiplication, never accumulation: summing
+    # sample_dt drifts, and a horizon that is "almost" a multiple of
+    # sample_dt then leaves a sliver step with dt ~ 1e-12 whose
+    # dist / dt explodes into absurd exported speeds.  A final partial
+    # step shorter than a relative epsilon of sample_dt is merged into the
+    # previous sample instead.
+    nsteps = int(np.ceil(horizon / sample_dt - 1e-9))
+    times = [min(float(horizon), (i + 1) * float(sample_dt)) for i in range(nsteps)]
+    if len(times) >= 2 and times[-1] - times[-2] < 1e-6 * sample_dt:
+        del times[-2]
     trace = MobilityTrace(initial=np.array(model.positions, copy=True))
     prev = np.array(model.positions, copy=True)
     t = 0.0
-    while t < horizon - 1e-9:
-        dt = min(sample_dt, horizon - t)
+    for t_next in times:
+        dt = t_next - t
         cur = np.array(model.step(dt), copy=True)
         delta = cur - prev
         dist = np.hypot(delta[:, 0], delta[:, 1])
@@ -97,7 +107,7 @@ def record_trace(
                 ),
             )
         prev = cur
-        t += dt
+        t = t_next
     return trace
 
 
@@ -154,6 +164,13 @@ def parse_ns2_script(text: str) -> MobilityTrace:
             )
     if not inits:
         raise ValueError("no node initial positions found in script")
+    missing = sorted({node for node, _seg in segs} - set(inits))
+    if missing:
+        raise ValueError(
+            "setdest segment(s) reference node(s) without an initial "
+            f"`set X_/Y_` position: {missing}; the trace would silently "
+            "drop their movement on replay"
+        )
     n = max(inits) + 1
     initial = np.zeros((n, 2), dtype=np.float64)
     for node, (x, y) in inits.items():

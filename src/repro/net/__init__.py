@@ -48,9 +48,11 @@ from repro.net.messages import (
     ContactSelectionQuery,
     ValidationMessage,
     DestinationSearchQuery,
+    QueryReply,
     FloodQuery,
     BordercastQuery,
 )
+from repro.net.link import LinkModel, LinkSpec
 from repro.net.stats import MessageStats, OVERHEAD_CATEGORIES
 from repro.net.network import Network
 
@@ -77,8 +79,11 @@ __all__ = [
     "ContactSelectionQuery",
     "ValidationMessage",
     "DestinationSearchQuery",
+    "QueryReply",
     "FloodQuery",
     "BordercastQuery",
+    "LinkSpec",
+    "LinkModel",
     "MessageStats",
     "OVERHEAD_CATEGORIES",
 ]

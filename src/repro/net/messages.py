@@ -28,10 +28,20 @@ __all__ = [
     "ContactSelectionQuery",
     "ValidationMessage",
     "DestinationSearchQuery",
+    "QueryReply",
     "FloodQuery",
     "BordercastQuery",
     "next_query_id",
+    "HEADER_BYTES",
+    "PER_ENTRY_BYTES",
 ]
+
+#: Nominal fixed header of every control message (type + ids + counters),
+#: loosely an IP+UDP-free NS-2-style compact header.  Only relative sizes
+#: matter: byte overheads scale list-carrying messages against fixed ones.
+HEADER_BYTES = 20
+#: Wire cost of each node id carried in a list field.
+PER_ENTRY_BYTES = 4
 
 _query_counter = itertools.count(1)
 
@@ -64,9 +74,18 @@ class MessageKind(enum.Enum):
 
 @dataclass
 class Message:
-    """Base class: every message knows its accounting category."""
+    """Base class: every message knows its accounting category and size."""
 
     kind: MessageKind = field(init=False, default=MessageKind.QUERY)
+
+    def wire_size(self) -> int:
+        """Nominal on-wire size in bytes (header + list payloads).
+
+        Used by the ``des`` regime's byte and byte-second overhead
+        accounting; fixed-field messages cost :data:`HEADER_BYTES`,
+        list-carrying subclasses add :data:`PER_ENTRY_BYTES` per entry.
+        """
+        return HEADER_BYTES
 
 
 @dataclass
@@ -96,6 +115,10 @@ class ContactSelectionQuery(Message):
     def __post_init__(self) -> None:
         self.kind = MessageKind.CONTACT_SELECTION
 
+    def wire_size(self) -> int:
+        n = len(self.contact_list) + len(self.edge_list or ())
+        return HEADER_BYTES + PER_ENTRY_BYTES * n
+
 
 @dataclass
 class ValidationMessage(Message):
@@ -112,6 +135,9 @@ class ValidationMessage(Message):
     def __post_init__(self) -> None:
         self.kind = MessageKind.VALIDATION
 
+    def wire_size(self) -> int:
+        return HEADER_BYTES + PER_ENTRY_BYTES * len(self.source_path)
+
 
 @dataclass
 class DestinationSearchQuery(Message):
@@ -126,6 +152,29 @@ class DestinationSearchQuery(Message):
         self.kind = MessageKind.QUERY
         if self.depth < 1:
             raise ValueError("DSQ depth must be >= 1")
+
+
+@dataclass
+class QueryReply(Message):
+    """The answer path returned to a DSQ source (§III.C.4).
+
+    Carries the discovered source → target route back along the reverse of
+    the route the query travelled.  In the event-driven regime the reply is
+    itself subject to loss and churn — a link that broke *after* the query
+    passed can still kill the answer, which is exactly the staleness race
+    the ``des`` metrics measure.
+    """
+
+    source: int = 0
+    target: int = 0
+    query_id: int = 0
+    path: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.kind = MessageKind.REPLY
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + PER_ENTRY_BYTES * len(self.path)
 
 
 @dataclass

@@ -12,19 +12,23 @@ the network exclusively through this class:
 * neighborhood accessors delegating to the owned
   :class:`~repro.routing.neighborhood.NeighborhoodTables`.
 
-The façade deliberately does not model propagation delay or loss — the
+By default the façade does not model propagation delay or loss — the
 paper's simulations ignore the MAC layer, and all reported metrics are
 message *counts* and hop-level reachability.  A ``hop_delay`` can be set to
-spread events over simulated time for the time-series experiments.
+spread events over simulated time for the time-series experiments, and the
+event-driven (``des``) regime attaches a :class:`~repro.net.link.LinkModel`
+so that :meth:`deliver` schedules receive callbacks on the simulator with
+per-link latency, jitter and loss instead of synchronous hop accounting.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.des.engine import Simulator
+from repro.des.engine import EventHandle, Simulator
+from repro.net.link import LinkModel
 from repro.net.messages import Message, MessageKind
 from repro.net.stats import MessageStats
 from repro.net.topology import Topology
@@ -47,6 +51,10 @@ class Network:
         the time-series experiments leave it at zero and timestamp overhead
         by the *timer* that triggered it, like the paper's per-interval
         accounting.
+    link:
+        Optional :class:`~repro.net.link.LinkModel`; when present,
+        :meth:`deliver` draws per-link delay/loss from it (the ``des``
+        regime).  ``hop_delay`` is ignored for delivered messages then.
     """
 
     def __init__(
@@ -54,13 +62,18 @@ class Network:
         topology: Topology,
         sim: Optional[Simulator] = None,
         hop_delay: float = 0.0,
+        link: Optional[LinkModel] = None,
     ) -> None:
         if hop_delay < 0:
             raise ValueError("hop_delay must be >= 0")
         self.topology = topology
         self.sim = sim if sim is not None else Simulator()
         self.hop_delay = float(hop_delay)
+        self.link = link
         self.stats = MessageStats(topology.num_nodes)
+        #: ∑ wire_size × delay over scheduled deliveries — the link
+        #: occupancy integral the ``des`` overhead metrics report.
+        self.byte_seconds = 0.0
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -99,7 +112,7 @@ class Network:
         """
         k = kind if kind is not None else message.kind
         t = self.sim.now if time is None else time
-        self.stats.record(k, transmitter, time=t)
+        self.stats.record(k, transmitter, time=t, nbytes=message.wire_size())
 
     def transmit_path(
         self,
@@ -118,11 +131,43 @@ class Network:
         """
         k = kind if kind is not None else message.kind
         t = self.sim.now if time is None else time
-        self.stats.record_many(k, transmitters, time=t)
+        self.stats.record_many(k, transmitters, time=t, nbytes=message.wire_size())
 
     # ------------------------------------------------------------------
     # communication primitives
     # ------------------------------------------------------------------
+    def deliver(
+        self,
+        message: Message,
+        sender: int,
+        receiver: int,
+        on_receive: Callable[..., None],
+        *args: Any,
+        kind: Optional[MessageKind] = None,
+    ) -> Optional[EventHandle]:
+        """Transmit ``message`` on ``sender → receiver`` and schedule receipt.
+
+        The transmission is accounted immediately (the sender spent the
+        airtime either way); the receive callback ``on_receive(*args)`` is
+        scheduled on the simulator after the link's delay.  Returns the
+        event handle, or ``None`` when the message is dropped — by the link
+        model's loss draw, or because the link is no longer alive (callers
+        that care *why* should check :meth:`are_neighbors` first; that is
+        how the ``des`` runner separates staleness drops from channel
+        loss).
+        """
+        self.transmit(message, sender, kind=kind)
+        if not self.are_neighbors(int(sender), int(receiver)):
+            return None
+        if self.link is not None:
+            if self.link.lost(sender, receiver):
+                return None
+            delay = self.link.delay(sender, receiver, message.wire_size())
+        else:
+            delay = self.hop_delay
+        self.byte_seconds += message.wire_size() * delay
+        return self.sim.schedule(delay, on_receive, *args)
+
     def unicast_path(
         self,
         message: Message,

@@ -54,6 +54,7 @@ class MessageStats:
         self.num_nodes = int(num_nodes)
         self.time_bin = float(time_bin)
         self._totals: Dict[MessageKind, int] = defaultdict(int)
+        self._bytes: Dict[MessageKind, int] = defaultdict(int)
         self._per_node: Dict[MessageKind, np.ndarray] = {}
         self._series: Dict[MessageKind, Dict[int, int]] = defaultdict(
             lambda: defaultdict(int)
@@ -68,11 +69,18 @@ class MessageStats:
         transmitter: int,
         time: Optional[float] = None,
         count: int = 1,
+        nbytes: int = 0,
     ) -> None:
-        """Record ``count`` transmissions of category ``kind`` by a node."""
+        """Record ``count`` transmissions of category ``kind`` by a node.
+
+        ``nbytes`` is the *per-message* wire size; when given, byte totals
+        accumulate ``count * nbytes`` (queried via :meth:`total_bytes`).
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
         self._totals[kind] += count
+        if nbytes:
+            self._bytes[kind] += count * int(nbytes)
         arr = self._per_node.get(kind)
         if arr is None:
             arr = np.zeros(self.num_nodes, dtype=np.int64)
@@ -86,6 +94,7 @@ class MessageStats:
         kind: MessageKind,
         transmitters: Sequence[int],
         time: Optional[float] = None,
+        nbytes: int = 0,
     ) -> None:
         """Record one transmission per entry of ``transmitters`` at ``time``.
 
@@ -99,6 +108,8 @@ class MessageStats:
         if tx.size == 0:
             return
         self._totals[kind] += int(tx.size)
+        if nbytes:
+            self._bytes[kind] += int(tx.size) * int(nbytes)
         arr = self._per_node.get(kind)
         if arr is None:
             arr = np.zeros(self.num_nodes, dtype=np.int64)
@@ -115,6 +126,16 @@ class MessageStats:
         if not kinds:
             return sum(self._totals.values())
         return sum(self._totals.get(k, 0) for k in kinds)
+
+    def total_bytes(self, *kinds: MessageKind) -> int:
+        """Total bytes transmitted across the given categories (all if none).
+
+        Only transmissions recorded with an ``nbytes`` argument contribute;
+        the snapshot/series engines pass none and report pure counts.
+        """
+        if not kinds:
+            return sum(self._bytes.values())
+        return sum(self._bytes.get(k, 0) for k in kinds)
 
     def per_node(self, *kinds: MessageKind) -> np.ndarray:
         """Per-node transmission counts summed over categories."""
@@ -159,6 +180,7 @@ class MessageStats:
     def reset(self) -> None:
         """Zero all counters (used between measurement phases)."""
         self._totals.clear()
+        self._bytes.clear()
         self._per_node.clear()
         self._series.clear()
 

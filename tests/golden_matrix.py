@@ -53,6 +53,14 @@ GOLDEN_KWARGS: Dict[str, dict] = {
     "ablation_edge_policy": dict(scale=0.2, num_sources=20),
     "smallworld": dict(scale=0.2, noc_values=(0, 2, 4), num_sources=20),
     "mobility_rate": dict(scale=0.25, duration=4.0, num_sources=10),
+    "fig_des_latency": dict(
+        scale=0.2,
+        latencies=(0.005, 0.02),
+        loss=0.02,
+        duration=4.0,
+        num_queries=12,
+        num_sources=15,
+    ),
     # multi-seed CI artifacts carry their own seed tuples; the matrix seed
     # is dropped as an inapplicable common knob, so both fixture seeds pin
     # the same (deliberately seed-independent) output

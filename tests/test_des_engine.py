@@ -90,6 +90,54 @@ class TestRunControl:
         sim.run(max_events=2)
         assert fired == [0, 1]
 
+    def test_max_events_drained_queue_still_advances_to_until(self):
+        # Regression: the max_events branch used to `return` before the
+        # clock-advance, so run(until=10, max_events=k) with exactly k
+        # events left the clock at the last event instead of 10, and a
+        # later run(until=...) resumed from an inconsistent now.
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(until=10.0, max_events=3)
+        assert sim.now == 10.0
+
+    def test_max_events_midbacklog_keeps_clock_at_last_event(self):
+        # Documented exception: stopping with events still pending at or
+        # before `until` must NOT jump the clock past them — resuming
+        # would then dispatch the backlog in the past.
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(until=10.0, max_events=2)
+        assert fired == [0, 1]
+        assert sim.now == 2.0
+        sim.run(until=10.0)
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.now == 10.0
+
+    def test_max_events_resume_is_consistent(self):
+        # Split a run into max_events-bounded slices: the event order and
+        # timestamps must match a single uninterrupted run.
+        def record(log, sim):
+            return lambda tag: log.append((sim.now, tag))
+
+        whole_sim = Simulator()
+        whole = []
+        for i in range(6):
+            whole_sim.schedule(float(i), record(whole, whole_sim), i)
+        whole_sim.run(until=10.0)
+
+        sliced_sim = Simulator()
+        sliced = []
+        for i in range(6):
+            sliced_sim.schedule(float(i), record(sliced, sliced_sim), i)
+        while sliced_sim.peek() is not None:
+            sliced_sim.run(until=10.0, max_events=2)
+        sliced_sim.run(until=10.0)
+        assert sliced == whole
+        assert sliced_sim.now == whole_sim.now == 10.0
+
     def test_step_empty_returns_false(self):
         assert Simulator().step() is False
 

@@ -71,6 +71,39 @@ class TestPeriodicProcess:
         assert gaps.max() <= 2.0 * 1.25 + 1e-9
         assert len(times) > 15  # roughly 25 firings expected
 
+    def test_jitter_deterministic_across_runs(self):
+        def fire_times(seed):
+            sim = Simulator()
+            times = []
+            PeriodicProcess(
+                sim,
+                2.0,
+                lambda: times.append(sim.now),
+                jitter=0.3,
+                rng=np.random.default_rng(seed),
+            )
+            sim.run(until=40.0)
+            return times
+
+        assert fire_times(7) == fire_times(7)
+        assert fire_times(7) != fire_times(8)
+
+    def test_stop_during_callback_cancels_pending_reschedule(self):
+        # stop() inside the callback must win even though _fire has
+        # already been entered: no further event may stay scheduled.
+        sim = Simulator()
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            proc.stop()
+
+        proc = PeriodicProcess(sim, 1.0, cb)
+        sim.run(until=10.0)
+        assert fired == [1.0]
+        assert not proc.running
+        assert sim.peek() is None
+
     def test_jitter_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             PeriodicProcess(

@@ -111,3 +111,62 @@ class TestMessageStats:
         s = MessageStats(2)
         with pytest.raises(ValueError):
             s.record(MessageKind.QUERY, 0, count=-1)
+
+
+class TestWireSizeAndBytes:
+    def test_fixed_field_messages_cost_header(self):
+        from repro.net.messages import (
+            HEADER_BYTES,
+            BordercastQuery,
+            DestinationSearchQuery,
+            FloodQuery,
+        )
+
+        assert DestinationSearchQuery(source=0, target=1).wire_size() == HEADER_BYTES
+        assert FloodQuery(source=0, target=1).wire_size() == HEADER_BYTES
+        assert BordercastQuery(source=0, target=1).wire_size() == HEADER_BYTES
+
+    def test_list_messages_scale_with_payload(self):
+        from repro.net.messages import (
+            HEADER_BYTES,
+            PER_ENTRY_BYTES,
+            ContactSelectionQuery,
+            QueryReply,
+            ValidationMessage,
+        )
+
+        csq = ContactSelectionQuery(source=0, contact_list=(1, 2, 3), edge_list=(4, 5))
+        assert csq.wire_size() == HEADER_BYTES + 5 * PER_ENTRY_BYTES
+        val = ValidationMessage(source=0, contact=3, source_path=[0, 1, 2, 3])
+        assert val.wire_size() == HEADER_BYTES + 4 * PER_ENTRY_BYTES
+        rep = QueryReply(source=0, target=3, path=[0, 1, 3])
+        assert rep.wire_size() == HEADER_BYTES + 3 * PER_ENTRY_BYTES
+
+    def test_query_reply_kind(self):
+        from repro.net.messages import MessageKind, QueryReply
+
+        assert QueryReply().kind is MessageKind.REPLY
+
+    def test_stats_byte_totals(self):
+        from repro.net.messages import MessageKind
+        from repro.net.stats import MessageStats
+
+        st = MessageStats(4)
+        st.record(MessageKind.QUERY, 0, nbytes=20)
+        st.record(MessageKind.QUERY, 1, count=3, nbytes=10)
+        st.record_many(MessageKind.VALIDATION, [0, 1, 2], nbytes=24)
+        assert st.total_bytes(MessageKind.QUERY) == 20 + 30
+        assert st.total_bytes(MessageKind.VALIDATION) == 72
+        assert st.total_bytes() == 122
+        assert st.total(MessageKind.QUERY) == 4  # counts unaffected
+        st.reset()
+        assert st.total_bytes() == 0
+
+    def test_bytes_default_to_zero_when_not_passed(self):
+        from repro.net.messages import MessageKind
+        from repro.net.stats import MessageStats
+
+        st = MessageStats(2)
+        st.record(MessageKind.QUERY, 0)
+        assert st.total(MessageKind.QUERY) == 1
+        assert st.total_bytes() == 0

@@ -1,0 +1,130 @@
+"""Round-trip property tests for the NS-2 trace interchange layer.
+
+The contract under test: for any mobility model,
+
+    record_trace → to_ns2_script → parse_ns2_script → TraceMobility
+
+reproduces the model's positions at every sample instant (up to the
+%.6f rounding of the Tcl export), across RWP / walk / Gauss-Markov.
+Plus regressions for the two trace bugs: silently dropped segments for
+nodes without init lines, and sliver segments with absurd speeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mobility import GaussMarkov, RandomWalk, RandomWaypoint
+from repro.mobility.base import MobilityModel
+from repro.mobility.trace import (
+    TraceMobility,
+    parse_ns2_script,
+    record_trace,
+    to_ns2_script,
+)
+
+AREA = (100.0, 100.0)
+
+
+def _make_model(kind: str, seed: int, n: int = 12) -> MobilityModel:
+    pos = np.random.default_rng(seed).uniform(0.0, 100.0, size=(n, 2))
+    rng = np.random.default_rng(seed + 1000)
+    if kind == "rwp":
+        return RandomWaypoint(
+            pos, AREA, min_speed=0.5, max_speed=5.0, pause_time=1.0, rng=rng
+        )
+    if kind == "walk":
+        return RandomWalk(
+            pos, AREA, min_speed=0.5, max_speed=5.0, mean_epoch=2.0, rng=rng
+        )
+    if kind == "gauss_markov":
+        return GaussMarkov(pos, AREA, alpha=0.8, mean_speed=2.0, sigma=1.0, rng=rng)
+    raise AssertionError(kind)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ["rwp", "walk", "gauss_markov"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_positions_reproduced_at_sample_instants(self, kind, seed):
+        sample_dt, horizon = 0.5, 6.0
+        trace = record_trace(_make_model(kind, seed), horizon, sample_dt)
+        replay = TraceMobility(parse_ns2_script(to_ns2_script(trace)), AREA)
+        reference = _make_model(kind, seed)
+        t = 0.0
+        while t < horizon - 1e-9:
+            dt = min(sample_dt, horizon - t)
+            ref = reference.step(dt)
+            got = replay.step(dt)
+            t += dt
+            np.testing.assert_allclose(got, ref, atol=2e-3)
+
+    def test_roundtrip_with_non_multiple_horizon(self):
+        # horizon not a multiple of sample_dt: the final partial sample
+        # must still land exactly at the horizon on replay
+        sample_dt, horizon = 0.5, 3.2
+        model = _make_model("walk", 1)
+        trace = record_trace(model, horizon, sample_dt)
+        replay = TraceMobility(parse_ns2_script(to_ns2_script(trace)), AREA)
+        reference = _make_model("walk", 1)
+        for dt in [0.5] * 6 + [0.2]:
+            ref = reference.step(dt)
+            got = replay.step(dt)
+        np.testing.assert_allclose(got, ref, atol=2e-3)
+
+    def test_initial_positions_roundtrip(self):
+        model = _make_model("rwp", 2)
+        trace = record_trace(model, 2.0, 0.5)
+        parsed = parse_ns2_script(to_ns2_script(trace))
+        assert parsed.num_nodes == trace.num_nodes
+        np.testing.assert_allclose(parsed.initial, trace.initial, atol=1e-5)
+
+
+class _FixedStride(MobilityModel):
+    """Moves node 0 a fixed 1 m per step call, regardless of dt.
+
+    Exaggerates the sliver bug: a step with dt ~ 1e-9 still covers 1 m,
+    so the exported speed explodes unless the sliver is merged away.
+    """
+
+    def step(self, dt: float) -> np.ndarray:
+        if dt > 0:
+            self.positions[0, 0] = min(self.positions[0, 0] + 1.0, self.area[0])
+        return self.positions
+
+
+class TestRecordTraceSliver:
+    def test_sliver_step_merged_into_previous_sample(self):
+        # Regression: horizon a hair past a multiple of sample_dt used to
+        # produce a final dt ~ 1e-7 segment with speed = dist / dt.
+        model = _FixedStride(np.zeros((2, 2)), AREA)
+        trace = record_trace(model, horizon=2.0 + 1e-7, sample_dt=0.5)
+        speeds = [seg.speed for seg in trace.sorted_segments(0)]
+        assert speeds, "node 0 moved; segments expected"
+        assert max(speeds) < 10.0  # pre-fix: ~1e9
+        times = [seg.time for seg in trace.sorted_segments(0)]
+        gaps = np.diff(times)
+        assert gaps.size == 0 or gaps.min() > 1e-6 * 0.5
+
+    def test_exact_multiple_horizon_unchanged(self):
+        model = _FixedStride(np.zeros((1, 2)), AREA)
+        trace = record_trace(model, horizon=2.0, sample_dt=0.5)
+        segs = trace.sorted_segments(0)
+        assert [s.time for s in segs] == [0.0, 0.5, 1.0, 1.5]
+        assert all(abs(s.speed - 2.0) < 1e-9 for s in segs)
+
+
+class TestParseValidation:
+    def test_setdest_without_init_raises_naming_node(self):
+        # Regression: node 3 has movement but no `set X_/Y_` line; the
+        # parser used to size the trace from init lines only and replay
+        # silently dropped node 3's segments.
+        text = (
+            "$node_(0) set X_ 1.000000\n"
+            "$node_(0) set Y_ 2.000000\n"
+            '$ns_ at 0.500000 "$node_(3) setdest 4.000000 5.000000 1.000000"\n'
+        )
+        with pytest.raises(ValueError, match=r"\[3\]"):
+            parse_ns2_script(text)
+
+    def test_empty_script_raises(self):
+        with pytest.raises(ValueError, match="no node initial positions"):
+            parse_ns2_script("\n")
