@@ -23,6 +23,7 @@ from repro.net import graph as g
 __all__ = [
     "clustering_coefficient",
     "characteristic_path_length",
+    "path_length_stats",
     "contact_graph",
     "degrees_of_separation",
     "smallworld_report",
@@ -58,6 +59,33 @@ def clustering_coefficient(adj: Sequence[np.ndarray]) -> float:
     return total / n
 
 
+def path_length_stats(
+    adj: Sequence[np.ndarray],
+    *,
+    pair_sample: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[float, Optional[float]]:
+    """The Watts-Strogatz L with its honest uncertainty: ``(L, se)``.
+
+    On the exact branch (small graphs, or ``pair_sample=None``) the
+    standard error is None — L is not an estimate.  On the sampled
+    branch it is the standard error over per-source BFS means
+    (:attr:`repro.net.graph.PairSampleStats.mean_hops_se`), the right
+    replication unit because pairs sharing a source are correlated.
+    """
+    n = len(adj)
+    if pair_sample is not None and n > int(pair_sample):
+        est = g.sample_pair_stats(
+            adj,
+            int(pair_sample),
+            rng if rng is not None else np.random.default_rng(0),
+        )
+        return float(est.mean_hops), float(est.mean_hops_se)
+    dist = g.hop_distance_matrix(adj)
+    finite = dist[dist > 0]
+    return (float(finite.mean()) if finite.size else 0.0), None
+
+
 def characteristic_path_length(
     adj: Sequence[np.ndarray],
     *,
@@ -71,18 +99,9 @@ def characteristic_path_length(
     sources) once the graph outgrows the sample — the N≫10³ regime where
     the exact all-pairs matrix would not fit.  Small graphs always take
     the exact branch, keeping default-scale artifacts byte-identical.
+    Use :func:`path_length_stats` when the sampling uncertainty matters.
     """
-    n = len(adj)
-    if pair_sample is not None and n > int(pair_sample):
-        est = g.sample_pair_stats(
-            adj,
-            int(pair_sample),
-            rng if rng is not None else np.random.default_rng(0),
-        )
-        return float(est.mean_hops)
-    dist = g.hop_distance_matrix(adj)
-    finite = dist[dist > 0]
-    return float(finite.mean()) if finite.size else 0.0
+    return path_length_stats(adj, pair_sample=pair_sample, rng=rng)[0]
 
 
 def contact_graph(
@@ -159,6 +178,10 @@ class SmallWorldReport:
     mean_separation: float
     #: fraction of (source, node) pairs covered by the structure at any level
     coverage: float
+    #: standard errors of the two path lengths when they came from the
+    #: sampled estimator; None when they are exact
+    path_length_se: Optional[float] = None
+    augmented_path_length_se: Optional[float] = None
 
     @property
     def shortcut_gain(self) -> float:
@@ -195,14 +218,16 @@ def smallworld_report(
     sep = degrees_of_separation(membership, contact_tables, sources)
     covered = sep >= 0
     mean_sep = float(sep[covered].mean()) if covered.any() else 0.0
+    length, length_se = path_length_stats(adj, pair_sample=pair_sample, rng=rng)
+    aug_length, aug_se = path_length_stats(
+        augmented, pair_sample=pair_sample, rng=rng
+    )
     return SmallWorldReport(
         clustering=clustering_coefficient(adj),
-        path_length=characteristic_path_length(
-            adj, pair_sample=pair_sample, rng=rng
-        ),
-        augmented_path_length=characteristic_path_length(
-            augmented, pair_sample=pair_sample, rng=rng
-        ),
+        path_length=length,
+        augmented_path_length=aug_length,
         mean_separation=mean_sep,
         coverage=float(covered.mean()),
+        path_length_se=length_se,
+        augmented_path_length_se=aug_se,
     )

@@ -35,7 +35,6 @@ are gone; output stability is pinned by the golden fixtures under
 from __future__ import annotations
 
 import dataclasses
-from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.artifacts.registry import (
@@ -48,11 +47,9 @@ from repro.artifacts.registry import (
 )
 from repro.artifacts.result import ExperimentResult
 from repro.campaign.runner import CampaignRunner
-from repro.campaign.store import ResultStore
+from repro.campaign.store import CellStore, StoreLike, open_store
 
 __all__ = ["list_artifacts", "describe", "run", "ExperimentResult", "Artifact"]
-
-StoreLike = Union[None, str, Path, ResultStore]
 
 
 def list_artifacts() -> list:
@@ -68,12 +65,11 @@ def describe(artifact_id: str) -> Artifact:
     return get_artifact(artifact_id)
 
 
-def _as_store(store: StoreLike) -> ResultStore:
-    if store is None:
-        return ResultStore(None)
-    if isinstance(store, ResultStore):
-        return store
-    return ResultStore(Path(store))
+def _as_store(store: StoreLike) -> CellStore:
+    """Backend selection by URI — ``sqlite:///path.db`` (or a bare
+    ``*.db`` path) opens the concurrent sqlite store, any other path the
+    JSONL store, None an ephemeral in-memory store."""
+    return open_store(store)
 
 
 def run(
@@ -113,8 +109,11 @@ def run(
     workers:
         Campaign process-pool width (1 = deterministic in-process).
     store:
-        ``ResultStore``, path, or None (ephemeral).  A persistent store
-        makes re-runs incremental: cells already stored are cache hits.
+        A store instance, a path/URI (``sqlite:///campaign.db`` or a
+        bare ``*.db`` path selects the concurrent sqlite backend, any
+        other path append-only JSONL), or None (ephemeral).  A
+        persistent store makes re-runs incremental: cells already
+        stored are cache hits.
     resume:
         True (default) reuses stored cells; False re-executes every cell
         even when cached (a forced re-measurement — results are
@@ -184,7 +183,7 @@ def _run_multi_seed(
     artifact: Artifact,
     seeds: tuple,
     *,
-    store: ResultStore,
+    store: CellStore,
     workers: int,
     force: bool,
     telemetry: object = None,
@@ -218,6 +217,7 @@ def _run_multi_seed(
     )
     result.exp_id = artifact.id
     result.notes.append(f"seeds {tuple(seeds)}; {campaign_note(report)}")
+    result.campaign = report.counts()
     if report.traces:
         from repro.obs import summarize
 

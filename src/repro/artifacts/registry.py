@@ -29,7 +29,7 @@ from repro.artifacts.result import ExperimentResult
 from repro.campaign import figures
 from repro.campaign.runner import CampaignReport, CampaignRunner
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import ResultStore
+from repro.campaign.store import StoreLike, open_store
 from repro.scenarios.factory import SCALE_PROFILES, resolve_scale
 
 __all__ = [
@@ -185,7 +185,7 @@ class Artifact:
     def run(
         self,
         *,
-        store: Optional[ResultStore] = None,
+        store: StoreLike = None,
         n_workers: int = 1,
         force: bool = False,
         telemetry: object = None,
@@ -207,14 +207,14 @@ class Artifact:
             # exact; averaging is the facade's seeds= job (or a
             # registered multi_seed artifact like fig07_ci)
             figures.require_single_seed(spec)
-        if store is None:
-            store = ResultStore(None)
+        store = open_store(store)
         report = CampaignRunner(
             spec, store=store, n_workers=n_workers, telemetry=telemetry
         ).run(force=force)
         ensure_report_ok(report, spec.name)
         result = self.reduce(spec, store, **_filtered(self.reduce, merged))
         result.notes = list(result.notes) + [campaign_note(report)]
+        result.campaign = report.counts()
         if report.traces:
             from repro.obs import summarize
 

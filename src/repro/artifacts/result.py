@@ -40,6 +40,13 @@ class ExperimentResult:
         with telemetry enabled; None otherwise (the default — parity
         comparisons of results never see it because it rides next to,
         not inside, the tabular payload).
+    campaign:
+        The producing run's execution counters
+        (:meth:`repro.campaign.runner.CampaignReport.counts`:
+        ``total_cells``/``executed``/``cached``/``failed``/``elapsed``)
+        when the result came through the campaign engine; None for
+        hand-built results.  ``executed == 0`` is the machine-readable
+        "this store was warm" signal the serving facade returns.
     """
 
     exp_id: str
@@ -50,6 +57,7 @@ class ExperimentResult:
     plots: List[str] = field(default_factory=list)
     raw: Dict[str, object] = field(default_factory=dict)
     telemetry: Optional[Dict[str, object]] = None
+    campaign: Optional[Dict[str, object]] = None
 
     def render(self) -> str:
         parts = [

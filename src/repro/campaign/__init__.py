@@ -16,8 +16,12 @@ objects instead of bespoke per-figure loops:
   family);
 * :mod:`repro.campaign.runner` — :class:`CampaignRunner` fans cells out
   over a process pool (``n_workers=1`` = deterministic in-process run);
-* :mod:`repro.campaign.store` — :class:`ResultStore`, an append-only
-  JSONL store giving crash-safe persistence, cache hits and ``resume``;
+* :mod:`repro.campaign.store` — the :class:`CellStore` backends:
+  :class:`ResultStore` (append-only JSONL — crash-safe persistence,
+  cache hits, ``resume``) and :class:`SqliteStore` (WAL-mode sqlite,
+  safe for the concurrent writer fleets of :mod:`repro.service`),
+  selected by URI via :func:`open_store` and folded together by
+  :func:`merge_stores`;
 * :mod:`repro.campaign.aggregate` — group-by / mean / CI reduction of
   stored cells back into :class:`~repro.artifacts.result.ExperimentResult`
   tables, plus the label → metrics join the figure reducers use;
@@ -58,7 +62,14 @@ from repro.campaign.spec import (
     TopologySpec,
     content_hash,
 )
-from repro.campaign.store import ResultStore
+from repro.campaign.store import (
+    CellStore,
+    MergeReport,
+    ResultStore,
+    SqliteStore,
+    merge_stores,
+    open_store,
+)
 from repro.campaign.runner import (
     CampaignReport,
     CampaignRunner,
@@ -74,7 +85,12 @@ __all__ = [
     "MobilitySpec",
     "TopologySpec",
     "content_hash",
+    "CellStore",
     "ResultStore",
+    "SqliteStore",
+    "MergeReport",
+    "open_store",
+    "merge_stores",
     "CampaignRunner",
     "CampaignReport",
     "CellOutcome",

@@ -27,17 +27,25 @@ at most the cell in flight, and re-running skips everything stored.
 Because the key covers only cell *content*, overlapping figures share
 work: e.g. fig12 re-reads fig11's cells from a shared store.
 
+Every ``--store`` accepts a backend URI: a plain path is append-only
+JSONL, ``sqlite:///path.db`` (or a bare ``*.db`` path) is the WAL-mode
+sqlite backend that many concurrent writer processes can share — the
+store the ``python -m repro.service`` work-queue fleet uses.
+
 Distributed fan-out: ``--shard i/n`` makes an invocation responsible for
 the i-th of n disjoint slices of the cell grid (1-based).  Run each shard
-on a different machine with its own store, then simply concatenate the
-JSONL stores — records are keyed by content hash, so the merge needs no
-coordination::
+on a different machine with its own store, then fold the stores together
+with ``merge`` (works across backends, last-write-wins by key, so the
+merge needs no coordination)::
 
     python -m repro.campaign run sweep.json --shard 1/4 --store s1.jsonl
     python -m repro.campaign run sweep.json --shard 2/4 --store s2.jsonl
     ...
-    cat s*.jsonl > sweep.results.jsonl
-    python -m repro.campaign report sweep.json
+    python -m repro.campaign merge sqlite:///sweep.db s1.jsonl s2.jsonl ...
+    python -m repro.campaign report sweep.json --store sqlite:///sweep.db
+
+(For pure-JSONL shards ``cat s*.jsonl > merged.jsonl`` still works —
+``merge`` adds the duplicate accounting and the cross-backend import.)
 """
 
 from __future__ import annotations
@@ -54,7 +62,7 @@ from typing import Optional
 from repro.campaign.aggregate import aggregate_table
 from repro.campaign.runner import CampaignRunner, CellOutcome
 from repro.campaign.spec import CampaignSpec, TopologySpec
-from repro.campaign.store import ResultStore
+from repro.campaign.store import merge_stores, open_store
 from repro.obs import default_trace_path
 
 __all__ = ["main"]
@@ -69,8 +77,9 @@ def _default_store(spec_path: Path) -> Path:
 def _load(args) -> tuple:
     spec_path = Path(args.spec)
     spec = CampaignSpec.load(spec_path)
-    store_path = Path(args.store) if args.store else _default_store(spec_path)
-    return spec, ResultStore(store_path), store_path
+    target = args.store if args.store else _default_store(spec_path)
+    store = open_store(target)
+    return spec, store, store.uri()
 
 
 def _progress(outcome: CellOutcome, finished: int, pending: int) -> None:
@@ -172,14 +181,14 @@ def _follow_status(args) -> int:
     """
     spec_path = Path(args.spec)
     spec = CampaignSpec.load(spec_path)
-    store_path = Path(args.store) if args.store else _default_store(spec_path)
+    target = args.store if args.store else _default_store(spec_path)
     shard = _parse_shard(getattr(args, "shard", None))
     interval = max(float(args.interval), 0.1)
     t0 = time.monotonic()
     done0: Optional[int] = None
     while True:
         status = CampaignRunner(
-            spec, store=ResultStore(store_path), shard=shard
+            spec, store=open_store(target), shard=shard
         ).status()
         done, total = int(status["done"]), int(status["total"])
         if done0 is None:
@@ -272,7 +281,7 @@ def _cmd_figure(args) -> int:
             f"--store {out.with_suffix('.results.jsonl')}"
         )
         return 0
-    store = ResultStore(Path(args.store)) if args.store else ResultStore(None)
+    store = open_store(args.store)
     result = artifact.run(
         store=store,
         n_workers=args.workers,
@@ -285,6 +294,28 @@ def _cmd_figure(args) -> int:
     if result.telemetry is not None:
         print(f"traced {result.telemetry['cells']} cells "
               f"({result.telemetry['total_cell_seconds']:.2f} cell-seconds)")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    """Fold shard/worker stores into one (last-write-wins by key).
+
+    Works across backends: JSONL shards merge into sqlite (the import
+    path for ``repro.service`` fleets) and vice versa.  Inputs are
+    consumed in argument order, so later stores win duplicate keys.
+    """
+    for target in args.inputs:
+        text = str(target)
+        if not text.startswith("sqlite:") and not Path(text).exists():
+            raise FileNotFoundError(text)
+    report = merge_stores(args.out, args.inputs)
+    print(
+        f"merged {len(args.inputs)} store(s) into {args.out}: "
+        f"{report.merged} records read, "
+        f"{report.duplicates} duplicate key(s) overwritten, "
+        f"{report.skipped} unreadable line(s) skipped"
+    )
+    print(f"output holds {report.records} records")
     return 0
 
 
@@ -386,7 +417,10 @@ def main(argv: Optional[list] = None) -> int:
         p.add_argument(
             "--store",
             default=None,
-            help="JSONL result store (default: <spec>.results.jsonl)",
+            help=(
+                "result store: a JSONL path or sqlite:///path.db "
+                "(default: <spec>.results.jsonl)"
+            ),
         )
         if workers:
             p.add_argument(
@@ -487,6 +521,22 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="simulated seconds (time-series figures only)",
     )
+    p_merge = sub.add_parser(
+        "merge",
+        help="merge shard/worker stores into one (last-write-wins by key)",
+    )
+    p_merge.add_argument(
+        "out",
+        help=(
+            "output store: a JSONL path or sqlite:///path.db "
+            "(created if missing, merged into if present)"
+        ),
+    )
+    p_merge.add_argument(
+        "inputs",
+        nargs="+",
+        help="input stores (any mix of JSONL and sqlite; later ones win)",
+    )
     p_example = sub.add_parser("example", help="write a starter spec JSON")
     p_example.add_argument("--out", default="campaign_example.json")
     p_example.add_argument(
@@ -520,6 +570,8 @@ def main(argv: Optional[list] = None) -> int:
             return _cmd_report(args)
         if args.command == "figure":
             return _cmd_figure(args)
+        if args.command == "merge":
+            return _cmd_merge(args)
         if args.command == "trace":
             return _cmd_trace(args)
         return _cmd_example(args)

@@ -35,7 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.campaign.spec import CampaignSpec, CellSpec
-from repro.campaign.store import ResultStore
+from repro.campaign.store import CellStore, StoreLike, open_store
 from repro.obs import CellTrace, ObsConfig
 from repro.core.params import CARDParams
 from repro.core.protocol import CARDProtocol
@@ -181,6 +181,15 @@ def _execute_snapshot(cell: CellSpec, topo: Topology) -> Dict[str, object]:
             giant_size=int(st.giant_size),
             num_components=int(st.num_components),
         )
+        if st.diameter_upper is not None:
+            # sampled estimator (N ≥ PAIR_STATS_THRESHOLD): record the
+            # honest interval next to the point values — additive keys,
+            # absent (and exact) at default scale
+            out.update(
+                diameter_lower=int(st.diameter),
+                diameter_upper=int(st.diameter_upper),
+                mean_hops_se=float(st.mean_hops_se or 0.0),
+            )
     selection_families = {"reachability", "overhead", "overlap", "tradeoff"}
     if selection_families & set(cell.metrics):
         with obs.span("metrics:selection"):
@@ -253,7 +262,7 @@ def _smallworld_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
         pair_sample=_pair_sample(topo.num_nodes),
         rng=spawn_rng(cell.seed, "pairstats"),
     )
-    return {
+    out = {
         "clustering": float(rep.clustering),
         "path_length": float(rep.path_length),
         "augmented_path_length": float(rep.augmented_path_length),
@@ -261,6 +270,12 @@ def _smallworld_metrics(cell: CellSpec, topo: Topology) -> Dict[str, object]:
         "mean_separation": float(rep.mean_separation),
         "coverage": float(rep.coverage),
     }
+    if rep.path_length_se is not None:
+        # sampled path lengths carry their standard errors (additive
+        # keys; absent at default scale where L is exact)
+        out["path_length_se"] = float(rep.path_length_se)
+        out["augmented_path_length_se"] = float(rep.augmented_path_length_se or 0.0)
+    return out
 
 
 _SCHEME_PREFIX = {"Flooding": "flood", "Bordercasting": "border", "CARD": "card"}
@@ -464,6 +479,17 @@ class CampaignReport:
     def ok(self) -> bool:
         return self.failed == 0
 
+    def counts(self) -> Dict[str, object]:
+        """The JSON-safe execution counters (what the HTTP facade and
+        ``ExperimentResult.campaign`` expose as run metadata)."""
+        return {
+            "total_cells": self.total_cells,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "elapsed": round(self.elapsed, 4),
+        }
+
     def summary(self) -> str:
         return (
             f"campaign {self.spec_name!r}: {self.total_cells} cells — "
@@ -481,7 +507,11 @@ class CampaignRunner:
     spec:
         The campaign to run.
     store:
-        Result store; default is an ephemeral in-memory store.
+        Result store — a :class:`~repro.campaign.store.CellStore`
+        instance, a path/URI resolved by
+        :func:`~repro.campaign.store.open_store` (``sqlite:///…`` or
+        ``*.db`` selects the concurrent sqlite backend, any other path
+        JSONL), or None for an ephemeral in-memory store.
     n_workers:
         Process-pool width.  1 (default) runs in-process — same numbers,
         no subprocess machinery — which is what determinism tests use.
@@ -505,7 +535,7 @@ class CampaignRunner:
     def __init__(
         self,
         spec: CampaignSpec,
-        store: Optional[ResultStore] = None,
+        store: StoreLike = None,
         *,
         n_workers: int = 1,
         shard: Optional[Tuple[int, int]] = None,
@@ -521,7 +551,7 @@ class CampaignRunner:
                 )
             shard = (index, count)
         self.spec = spec
-        self.store = store if store is not None else ResultStore(None)
+        self.store: CellStore = open_store(store)
         self.n_workers = int(n_workers)
         self.shard = shard
         self.telemetry: Optional[ObsConfig] = ObsConfig.coerce(

@@ -289,6 +289,11 @@ class GraphStats:
     #: size of the largest connected component
     giant_size: int
     num_components: int
+    #: sampled-estimator extras: None on the exact branch (diameter and
+    #: mean_hops are then exact), else the honest interval/uncertainty
+    #: (``diameter`` itself carries the lower bound)
+    diameter_upper: Optional[int] = None
+    mean_hops_se: Optional[float] = None
 
     def row(self) -> List[object]:
         """Row cells in Table 1 column order (after the scenario columns)."""
@@ -306,17 +311,34 @@ class PairSampleStats:
 
     Produced by :func:`sample_pair_stats`: ``k`` sources are drawn
     without replacement and one full BFS runs per source, so memory is
-    O(N) and work O(k·E) — never the O(N²) all-pairs matrix.  The
-    diameter is the *maximum observed* eccentricity (a lower bound that
-    converges quickly on spatial graphs); ``mean_hops`` is unbiased over
-    connected (sampled source, node) pairs.
+    O(N) and work O(k·E) — never the O(N²) all-pairs matrix.
+    ``mean_hops`` is unbiased over connected (sampled source, node)
+    pairs; ``mean_hops_se`` is its standard error over per-source means
+    (pairs sharing a source are correlated, so the honest unit of
+    replication is the source, not the pair).
+
+    The diameter comes back as an *interval*: ``diameter_lower`` is the
+    largest eccentricity observed (including the double-sweep BFS from
+    the farthest node seen — the classic lower-bound tightener on
+    spatial graphs), and ``diameter_upper = 2·min eccentricity`` over
+    every BFS'd source (``diam ≤ 2·ecc(v)`` for any v in the
+    component).  ``diameter`` aliases the lower bound for backward
+    compatibility.  Both bounds are exact statements about the sampled
+    sources' component; when sources span several components only the
+    lower bound remains meaningful.
     """
 
     mean_hops: float
-    #: max hop distance observed from any sampled source (diameter ≥ this)
+    #: tightest observed lower bound (alias of ``diameter_lower``)
     diameter: int
     num_sources: int
     num_pairs: int
+    #: max eccentricity observed (diameter ≥ this)
+    diameter_lower: int = 0
+    #: 2 × min eccentricity observed (diameter ≤ this)
+    diameter_upper: int = 0
+    #: standard error of ``mean_hops`` over per-source means
+    mean_hops_se: float = 0.0
 
 
 def sample_pair_stats(
@@ -325,12 +347,21 @@ def sample_pair_stats(
     rng: np.random.Generator,
     *,
     population: Optional[np.ndarray] = None,
+    double_sweep: bool = True,
 ) -> PairSampleStats:
-    """Estimate mean hop distance and diameter from ``k`` BFS sources.
+    """Estimate mean hop distance and bound the diameter from ``k`` BFS
+    sources.
 
     ``population`` restricts the source draw (e.g. to a connected
     component); distances still run over the whole graph, and only
     connected pairs (distance > 0) enter the statistics.
+
+    ``double_sweep`` (default) runs one extra BFS from the farthest
+    node any sampled source observed — the standard double-sweep step
+    that usually pins the true diameter's lower bound on spatial
+    graphs.  That BFS sharpens ``diameter_lower``/``diameter_upper``
+    only; it never enters ``mean_hops`` (a periphery-anchored source
+    would bias the mean upward).
     """
     if k < 1:
         raise ValueError("need at least one sampled source")
@@ -345,19 +376,45 @@ def sample_pair_stats(
     sources = pool[rng.choice(pool.size, size=k, replace=False)]
     total = 0
     pairs = 0
-    diameter = 0
+    lower = 0
+    ecc_min: Optional[int] = None
+    far_node: Optional[int] = None
+    source_means: List[float] = []
     for s in sources:
         dist = bfs_hops(adj, int(s))
         finite = dist[dist > 0]
         if finite.size:
             total += int(finite.sum())
             pairs += int(finite.size)
-            diameter = max(diameter, int(finite.max()))
+            source_means.append(float(finite.mean()))
+            ecc = int(finite.max())
+            ecc_min = ecc if ecc_min is None else min(ecc_min, ecc)
+            if ecc > lower:
+                lower = ecc
+                far_node = int(np.argmax(dist))  # ties → lowest id
+    if double_sweep and far_node is not None:
+        # Sweep 2: BFS from the farthest endpoint seen.  Its
+        # eccentricity is ≥ the observed max by construction and is
+        # very often the true diameter on geometric graphs.
+        dist = bfs_hops(adj, far_node)
+        finite = dist[dist > 0]
+        if finite.size:
+            ecc = int(finite.max())
+            lower = max(lower, ecc)
+            ecc_min = ecc if ecc_min is None else min(ecc_min, ecc)
+    upper = max(2 * ecc_min, lower) if ecc_min is not None else 0
+    if len(source_means) > 1:
+        se = float(np.std(source_means, ddof=1) / np.sqrt(len(source_means)))
+    else:
+        se = 0.0
     return PairSampleStats(
         mean_hops=(total / pairs) if pairs else 0.0,
-        diameter=diameter,
+        diameter=lower,
         num_sources=k,
         num_pairs=pairs,
+        diameter_lower=lower,
+        diameter_upper=upper,
+        mean_hops_se=se,
     )
 
 
@@ -380,6 +437,11 @@ def graph_stats(
     sample — the N≫10³ regime where the exact all-pairs matrix would not
     fit.  Small graphs always take the exact branch, so default-scale
     artifacts are byte-identical with or without the knob.
+
+    On the sampled branch ``diameter`` is the double-sweep *lower*
+    bound and the stats carry the honest interval: ``diameter_upper``
+    (2·min observed eccentricity) and ``mean_hops_se`` (standard error
+    over per-source means).  Both are None on the exact branch.
     """
     n = len(adj)
     num_links = sum(len(a) for a in adj) // 2
@@ -390,6 +452,8 @@ def graph_stats(
     giant = comps[0]
     if len(giant) < 2:
         return GraphStats(n, num_links, mean_degree, 0, 0.0, len(giant), len(comps))
+    diameter_upper: Optional[int] = None
+    mean_hops_se: Optional[float] = None
     if pair_sample is not None and len(giant) > int(pair_sample):
         est = sample_pair_stats(
             adj,
@@ -397,8 +461,10 @@ def graph_stats(
             rng if rng is not None else np.random.default_rng(0),
             population=giant,
         )
-        diameter = est.diameter
+        diameter = est.diameter_lower
         mean_hops = est.mean_hops
+        diameter_upper = est.diameter_upper
+        mean_hops_se = est.mean_hops_se
     else:
         dist = hop_distance_matrix(adj)
         sub = dist[np.ix_(giant, giant)]
@@ -413,6 +479,8 @@ def graph_stats(
         mean_hops=mean_hops,
         giant_size=len(giant),
         num_components=len(comps),
+        diameter_upper=diameter_upper,
+        mean_hops_se=mean_hops_se,
     )
 
 

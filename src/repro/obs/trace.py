@@ -248,6 +248,19 @@ class CellTrace:
     def add(self, name: str, delta: float = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + delta
 
+    def record_phase(self, name: str, seconds: float) -> None:
+        """Record an already-timed phase as a completed top-level span.
+
+        For work that finished *before* the trace could exist — e.g. the
+        service worker's lease acquisition, which only yields the cell
+        key (and hence the trace) once it succeeds.  The span is pinned
+        to the trace's start, so phase aggregation sees the true
+        duration while ordering stays approximate.
+        """
+        self.spans.append(
+            {"name": str(name), "t0": 0.0, "t1": float(seconds), "depth": 0}
+        )
+
     def set(self, name: str, value: float) -> None:
         self.counters[name] = value
 

@@ -1,0 +1,45 @@
+"""Distributed campaign service: work queue, workers, daemon, HTTP facade.
+
+This package turns the campaign engine's ``--shard i/n`` manual fan-out
+into the serving architecture ROADMAP calls for — one shared store, many
+leased workers, read traffic hitting cache:
+
+* :mod:`repro.service.queue` — :class:`WorkQueue`, a sqlite-backed lease
+  queue over content-hashed cells.  Workers lease cells with a TTL,
+  heartbeat while executing, and commit when done; a worker killed
+  ``-9`` simply stops heartbeating, its lease expires and the cell
+  requeues.  Because cells are pure functions of their spec and the
+  store is keyed by content hash, a campaign that survives worker
+  deaths still reduces to metrics bit-identical to a single-process
+  run.
+* :mod:`repro.service.worker` — the lease → execute → append → commit
+  loop (:func:`run_worker`), with a background heartbeat pump and
+  per-cell obs spans (``lease`` / ``execute`` / ``commit``).
+* :mod:`repro.service.daemon` — seeds the queue from a
+  :class:`~repro.campaign.spec.CampaignSpec` (skipping cells the shared
+  store already holds), then monitors progress, requeuing expired
+  leases until the campaign completes (:func:`run_daemon`).
+* :mod:`repro.service.http` — a stdlib-only read-mostly HTTP facade
+  over :mod:`repro.api`: list/describe artifacts, run them against the
+  shared store (warm stores reduce without executing a single cell),
+  and report campaign/queue status (:func:`make_server`).
+
+``python -m repro.service daemon|worker|status|serve`` wires it all to
+the command line; see the package README section "Serving".
+"""
+
+from repro.service.queue import Lease, WorkQueue
+from repro.service.worker import WorkerStats, run_worker
+from repro.service.daemon import run_daemon, seed_queue
+from repro.service.http import ArtifactService, make_server
+
+__all__ = [
+    "WorkQueue",
+    "Lease",
+    "run_worker",
+    "WorkerStats",
+    "run_daemon",
+    "seed_queue",
+    "ArtifactService",
+    "make_server",
+]

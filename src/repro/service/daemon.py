@@ -1,0 +1,167 @@
+"""The campaign daemon: seed the queue, watch the fleet, declare done.
+
+The daemon is deliberately dumb — all correctness lives in the queue's
+lease protocol and the store's content-hash upserts.  Its job:
+
+1. :func:`seed_queue` — expand a :class:`CampaignSpec` into cells and
+   enqueue every one the shared store doesn't already hold (warm stores
+   seed an empty queue: the campaign is already done).
+2. Optionally spawn local worker subprocesses
+   (``python -m repro.service worker``); production fleets start
+   workers independently against the same queue file.
+3. :func:`run_daemon` — poll the queue, requeue expired leases (so
+   progress survives even with zero live workers calling ``lease()``),
+   emit progress lines, and exit 0 when every cell is done (1 if any
+   failed or the timeout lapsed).
+
+Killing the daemon never loses work: the queue file is the source of
+truth and a restarted daemon re-seeding the same spec finds every key
+already queued or stored.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CellStore
+from repro.service.queue import WorkQueue
+
+__all__ = ["seed_queue", "run_daemon", "spawn_workers"]
+
+
+def seed_queue(
+    spec: CampaignSpec, queue: WorkQueue, store: CellStore
+) -> Dict[str, int]:
+    """Enqueue ``spec``'s cells that ``store`` doesn't already hold.
+
+    Idempotent: keys already queued (any state) are counted but left
+    untouched, so re-seeding after a daemon restart is safe.  Records
+    the spec name, store URI and TTL in queue meta so ``status`` and
+    late-joining workers can find the campaign's parameters.
+    """
+    queue.set_meta("spec", spec.name)
+    queue.set_meta("store", store.uri())
+    queue.set_meta("ttl", queue.ttl)
+    pairs = [(key, cell.to_dict()) for key, cell in spec.unique_cells().items()]
+    counts = queue.enqueue(pairs, skip=store.keys())
+    counts["total"] = len(pairs)
+    return counts
+
+
+def spawn_workers(
+    n: int,
+    queue_path: Union[str, Path],
+    store_target: str,
+    *,
+    trace: Optional[str] = None,
+    poll: float = 0.5,
+) -> List[subprocess.Popen]:
+    """Start ``n`` local worker subprocesses against the shared queue."""
+    procs: List[subprocess.Popen] = []
+    for i in range(n):
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "worker",
+            "--queue",
+            str(queue_path),
+            "--store",
+            str(store_target),
+            "--id",
+            f"local:{i}",
+            "--poll",
+            str(poll),
+        ]
+        if trace:
+            cmd += ["--trace", trace]
+        procs.append(subprocess.Popen(cmd))
+    return procs
+
+
+def run_daemon(
+    spec: CampaignSpec,
+    queue: WorkQueue,
+    store: CellStore,
+    *,
+    workers: int = 0,
+    store_target: Optional[str] = None,
+    trace: Optional[str] = None,
+    poll: float = 1.0,
+    timeout: Optional[float] = None,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
+    """Seed the queue and monitor it until the campaign completes.
+
+    Parameters
+    ----------
+    workers:
+        Local worker subprocesses to spawn (0 = monitor only; workers
+        are expected to be started elsewhere against the same queue).
+    store_target:
+        The store URI handed to spawned workers (defaults to
+        ``store.uri()``); required when ``workers > 0`` and the store
+        has no filesystem identity.
+    timeout:
+        Give up after this many seconds (workers are terminated, exit
+        status reports ``timeout: True``).
+    progress:
+        Called with :meth:`WorkQueue.status` each poll tick.
+
+    Returns a summary dict: seed counts, final state counts, requeues,
+    failures, elapsed and ``ok`` (True iff everything is done).
+    """
+    seeded = seed_queue(spec, queue, store)
+    procs: List[subprocess.Popen] = []
+    if workers > 0:
+        target = store_target if store_target else store.uri()
+        if target is None:
+            raise ValueError(
+                "cannot spawn workers against a store with no path; "
+                "pass store_target="
+            )
+        procs = spawn_workers(
+            workers, queue.path, target, trace=trace, poll=min(poll, 0.5)
+        )
+
+    started = time.monotonic()
+    timed_out = False
+    try:
+        while not queue.is_done():
+            queue.requeue_expired()
+            if progress is not None:
+                progress(queue.status())
+            if timeout is not None and time.monotonic() - started > timeout:
+                timed_out = True
+                break
+            time.sleep(poll)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                proc.kill()
+
+    counts = queue.counts()
+    failures = queue.failures()
+    status = queue.status()
+    return {
+        "spec": spec.name,
+        "store": store.uri(),
+        "seeded": seeded,
+        "counts": counts,
+        "requeues": status["requeues"],
+        "heartbeats": status["heartbeats"],
+        "failures": failures,
+        "elapsed": round(time.monotonic() - started, 3),
+        "timeout": timed_out,
+        "ok": not timed_out and not failures and queue.is_done(),
+    }

@@ -132,3 +132,25 @@ class TestReport:
         card.bootstrap()
         rep = smallworld_report(topo.adj, card.membership, card.contact_tables)
         assert rep.shortcut_gain > 1.05  # measurable contraction
+
+    def test_exact_branch_has_no_se(self):
+        topo = random_topology(n=100, seed=11)
+        card = CARDProtocol(Network(topo), CARDParams(R=2, r=7, noc=3), seed=11)
+        card.bootstrap()
+        rep = smallworld_report(topo.adj, card.membership, card.contact_tables)
+        assert rep.path_length_se is None
+        assert rep.augmented_path_length_se is None
+
+    def test_sampled_branch_reports_se(self):
+        topo = random_topology(n=120, seed=12)
+        card = CARDProtocol(Network(topo), CARDParams(R=2, r=7, noc=3), seed=12)
+        card.bootstrap()
+        rep = smallworld_report(
+            topo.adj,
+            card.membership,
+            card.contact_tables,
+            pair_sample=10,
+            rng=np.random.default_rng(12),
+        )
+        assert rep.path_length_se is not None and rep.path_length_se >= 0.0
+        assert rep.augmented_path_length_se is not None

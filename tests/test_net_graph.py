@@ -191,3 +191,69 @@ class TestShortestPath:
     def test_disconnected_returns_none(self):
         topo = line_topology(2, spacing=100.0, tx=50.0)
         assert g.shortest_path(topo.adj, 0, 1) is None
+
+
+class TestSamplePairStats:
+    """Sampled diameter bounds must honestly bracket the exact value."""
+
+    def test_bounds_bracket_true_diameter(self, rand_topo):
+        exact = g.graph_stats(rand_topo.adj)
+        giant = max(
+            (c for c in g.connected_components(rand_topo.adj)), key=len
+        )
+        est = g.sample_pair_stats(
+            rand_topo.adj, 5, np.random.default_rng(1), population=giant
+        )
+        assert est.diameter_lower <= exact.diameter <= est.diameter_upper
+        assert est.diameter == est.diameter_lower  # back-compat alias
+
+    def test_double_sweep_tightens_line_graph(self, line10):
+        # one central source sees ecc 5..9; the sweep from its farthest
+        # endpoint always recovers the full diameter 9
+        est = g.sample_pair_stats(line10.adj, 1, np.random.default_rng(0))
+        assert est.diameter_lower == 9
+
+    def test_double_sweep_excluded_from_mean(self, line10):
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        with_sweep = g.sample_pair_stats(line10.adj, 3, rng_a)
+        without = g.sample_pair_stats(
+            line10.adj, 3, rng_b, double_sweep=False
+        )
+        assert with_sweep.mean_hops == without.mean_hops
+        assert with_sweep.num_pairs == without.num_pairs
+        assert with_sweep.diameter_lower >= without.diameter_lower
+
+    def test_full_sample_se_and_exactness(self, grid5):
+        n = len(grid5.adj)
+        est = g.sample_pair_stats(grid5.adj, n, np.random.default_rng(0))
+        exact = g.graph_stats(grid5.adj)
+        assert est.diameter_lower == exact.diameter
+        assert est.diameter_upper >= exact.diameter
+        assert est.mean_hops == pytest.approx(exact.mean_hops)
+        assert est.mean_hops_se > 0.0
+
+    def test_single_source_se_zero(self, line10):
+        est = g.sample_pair_stats(line10.adj, 1, np.random.default_rng(0))
+        assert est.mean_hops_se == 0.0
+
+    def test_deterministic_for_seeded_rng(self, rand_topo):
+        a = g.sample_pair_stats(rand_topo.adj, 6, np.random.default_rng(9))
+        b = g.sample_pair_stats(rand_topo.adj, 6, np.random.default_rng(9))
+        assert a == b
+
+    def test_graph_stats_sampled_branch_carries_interval(self, rand_topo):
+        sampled = g.graph_stats(
+            rand_topo.adj, pair_sample=5, rng=np.random.default_rng(2)
+        )
+        exact = g.graph_stats(rand_topo.adj)
+        assert exact.diameter_upper is None and exact.mean_hops_se is None
+        assert sampled.diameter_upper is not None
+        assert sampled.diameter <= exact.diameter <= sampled.diameter_upper
+        assert sampled.mean_hops_se >= 0.0
+
+    def test_empty_population(self):
+        est = g.sample_pair_stats(
+            [], 3, np.random.default_rng(0), population=np.array([], dtype=np.int64)
+        )
+        assert est.num_pairs == 0 and est.diameter_upper == 0

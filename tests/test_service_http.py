@@ -1,0 +1,159 @@
+"""HTTP facade — routes, JSON shapes, warm-store runs, status and errors."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.service.http import make_server
+from repro.service.queue import WorkQueue
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """A live facade on an ephemeral port, serving ``tmp_path``."""
+    srv = make_server(
+        "127.0.0.1", 0, str(tmp_path / "facade.db"), root=tmp_path
+    )
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=10)
+
+
+def request(srv, method: str, path: str, body=None):
+    host, port = srv.server_address[:2]
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+class TestReadRoutes:
+    def test_healthz(self, server):
+        status, payload = request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["store"].startswith("sqlite:///")
+
+    def test_artifact_listing(self, server):
+        status, payload = request(server, "GET", "/artifacts")
+        assert status == 200
+        ids = [a["id"] for a in payload["artifacts"]]
+        assert payload["count"] == len(ids)
+        assert "fig05" in ids and "table1" in ids
+        for entry in payload["artifacts"]:
+            assert set(entry) == {"id", "title", "section", "regime"}
+
+    def test_describe(self, server):
+        status, payload = request(server, "GET", "/artifacts/fig05")
+        assert status == 200
+        assert payload["id"] == "fig05"
+        assert payload["section"].endswith("Fig 5")
+        assert payload["default_seeds"] == [0]
+
+    def test_describe_unknown_404(self, server):
+        status, payload = request(server, "GET", "/artifacts/nope")
+        assert status == 404
+        assert "unknown artifact" in payload["error"]
+
+    def test_unknown_route_404(self, server):
+        status, payload = request(server, "GET", "/frobnicate")
+        assert status == 404
+
+    def test_wrong_verb_405(self, server):
+        status, payload = request(server, "POST", "/artifacts")
+        assert status == 405
+
+
+class TestRunRoute:
+    def test_run_then_warm_rerun_executes_zero(self, server):
+        body = {"scale": 0.15}
+        status, first = request(
+            server, "POST", "/artifacts/fig05/run", body
+        )
+        assert status == 200
+        assert first["exp_id"] == "fig05"
+        assert first["headers"][0] == "Reach% bin"
+        assert first["rows"]
+        assert first["meta"]["executed"] == first["meta"]["total_cells"] > 0
+
+        status, again = request(
+            server, "POST", "/artifacts/fig05/run", body
+        )
+        assert status == 200
+        # the acceptance criterion: a warm store reduces without
+        # executing a single cell
+        assert again["meta"]["executed"] == 0
+        assert again["meta"]["cached"] == first["meta"]["total_cells"]
+        assert again["rows"] == first["rows"]
+
+    def test_run_unknown_option_400(self, server):
+        status, payload = request(
+            server, "POST", "/artifacts/fig05/run", {"bogus": 1}
+        )
+        assert status == 400
+        assert "unknown run option" in payload["error"]
+
+    def test_run_unknown_artifact_404(self, server):
+        status, payload = request(server, "POST", "/artifacts/nope/run", {})
+        assert status == 404
+
+    def test_run_malformed_body_400(self, server):
+        host, port = server.server_address[:2]
+        req = urllib.request.Request(
+            f"http://{host}:{port}/artifacts/fig05/run",
+            data=b"not json", method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400
+
+
+class TestCampaignStatusRoute:
+    def test_queue_status(self, server, tmp_path):
+        queue = WorkQueue(tmp_path / "camp.queue.db", ttl=12.0)
+        queue.enqueue([("k0", {}), ("k1", {})])
+        queue.lease("w1")
+        status, payload = request(
+            server, "GET", "/campaigns/camp.queue.db/status"
+        )
+        assert status == 200
+        assert payload["kind"] == "queue"
+        assert payload["pending"] == 1 and payload["leased"] == 1
+        assert payload["leases"][0]["owner"] == "w1"
+
+    def test_store_status(self, server, tmp_path):
+        store = ResultStore(tmp_path / "camp.jsonl")
+        store.append("k", {"seed": 0}, {"m": 1})
+        status, payload = request(
+            server, "GET", "/campaigns/camp.jsonl/status"
+        )
+        assert status == 200
+        assert payload["kind"] == "store"
+        assert payload["records"] == 1 and payload["bytes"] > 0
+
+    def test_missing_campaign_404(self, server):
+        status, payload = request(
+            server, "GET", "/campaigns/ghost.jsonl/status"
+        )
+        assert status == 404
+
+    def test_traversal_rejected(self, server):
+        # %2e%2e dodges client-side path normalisation
+        status, payload = request(
+            server, "GET", "/campaigns/%2e%2e/secrets.jsonl/status"
+        )
+        assert status in (403, 404)
