@@ -184,7 +184,7 @@ def _follow_status(args) -> int:
     target = args.store if args.store else _default_store(spec_path)
     shard = _parse_shard(getattr(args, "shard", None))
     interval = max(float(args.interval), 0.1)
-    t0 = time.monotonic()
+    t0 = time.monotonic()  # card-lint: disable=CARD-D01 -- status --follow progress meter
     done0: Optional[int] = None
     while True:
         status = CampaignRunner(
@@ -193,7 +193,7 @@ def _follow_status(args) -> int:
         done, total = int(status["done"]), int(status["total"])
         if done0 is None:
             done0 = done
-        elapsed = time.monotonic() - t0
+        elapsed = time.monotonic() - t0  # card-lint: disable=CARD-D01 -- status --follow progress meter
         rate = (done - done0) / elapsed if elapsed > 0 else 0.0
         left = total - done
         eta = _format_eta(left / rate) if rate > 0 else "?"

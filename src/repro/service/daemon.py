@@ -21,6 +21,8 @@ already queued or stored.
 
 from __future__ import annotations
 
+# card-lint: disable-file=CARD-D01 -- the monitor loop is operational
+# wall-clock (poll cadence, timeouts); it never touches cell metrics
 import subprocess
 import sys
 import time

@@ -138,7 +138,7 @@ class ArtifactService:
         import sqlite3
 
         try:
-            conn = sqlite3.connect(str(path))
+            conn = sqlite3.connect(str(path), isolation_level=None)
             try:
                 row = conn.execute(
                     "SELECT name FROM sqlite_master "

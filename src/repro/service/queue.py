@@ -102,7 +102,7 @@ class WorkQueue:
         path: Union[str, Path],
         *,
         ttl: Optional[float] = None,
-        clock: Callable[[], float] = time.time,
+        clock: Callable[[], float] = time.time,  # card-lint: disable=CARD-D01 -- lease TTLs are wall-clock by design; injectable for tests
     ) -> None:
         self.path = Path(path)
         self._clock = clock

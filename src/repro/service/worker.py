@@ -25,6 +25,9 @@ same record shape :mod:`repro.obs.report` already aggregates.
 
 from __future__ import annotations
 
+# card-lint: disable-file=CARD-D01 -- the lease loop is operational
+# wall-clock (heartbeats, lease budgets, throughput); cell metrics come
+# from execute_cell, which stays clock-free
 import os
 import threading
 import time

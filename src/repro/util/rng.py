@@ -49,7 +49,7 @@ def spawn_rng(seed: Optional[int], *keys: object) -> np.random.Generator:
         e.g. ``spawn_rng(7, "mobility", node_id)``.
     """
     if seed is None:
-        return np.random.default_rng()
+        return np.random.default_rng()  # card-lint: disable=CARD-D02 -- documented escape hatch: seed=None explicitly requests OS entropy
     entropy = [int(seed) & 0xFFFFFFFF]
     for key in keys:
         if isinstance(key, (int, np.integer)):

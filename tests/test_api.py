@@ -74,17 +74,25 @@ class TestFacadeBasics:
 
 class TestImportLayering:
     def test_api_never_imports_legacy(self):
-        code = (
-            "import sys, repro.api; "
-            "bad = [m for m in sys.modules if m.startswith('repro.experiments')]; "
-            "assert not bad, f'facade loaded {bad}'"
+        # static check over the import graph (the CARD-L01 invariant):
+        # no import-time path from the facade into the legacy harness.
+        # Function-level imports are deferred and legitimately excluded.
+        from pathlib import Path
+
+        import repro
+        from repro.lint.importgraph import build_graph
+
+        graph = build_graph(Path(repro.__file__).parent)
+        closure = graph.closure(
+            ["repro.api", "repro.artifacts"], include_deferred=False,
+            follow_ancestors=False,
         )
-        proc = subprocess.run(
-            [sys.executable, "-c", code], capture_output=True, text=True
-        )
-        assert proc.returncode == 0, proc.stderr
+        bad = sorted(m for m in closure if m.startswith("repro.experiments"))
+        assert not bad, f"facade import closure reaches {bad}"
 
     def test_api_run_never_imports_legacy(self):
+        # one subprocess smoke test stays: the static graph can't see
+        # importlib tricks, so prove the property end-to-end once.
         code = (
             "import sys, repro.api as api; "
             "api.run('table1', scale=0.12); "

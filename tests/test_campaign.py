@@ -458,37 +458,38 @@ class TestCLI:
 
 
 class TestLayering:
+    @staticmethod
+    def _graph():
+        from pathlib import Path
+
+        import repro
+        from repro.lint.importgraph import build_graph
+
+        return build_graph(Path(repro.__file__).parent)
+
     def test_import_repro_does_not_load_experiments(self):
         # the campaign exports reachable from `import repro` must not drag
-        # the whole experiment harness in (aggregate/figures are lazy)
-        import subprocess, sys
+        # the whole experiment harness in (aggregate/figures are lazy) —
+        # asserted statically over the import-time edges of the graph
+        graph = self._graph()
+        closure = graph.closure(["repro"], include_deferred=False)
+        bad = sorted(m for m in closure if m.startswith("repro.experiments"))
+        assert not bad, f"`import repro` reaches {bad}"
 
-        code = (
-            "import sys, repro; "
-            "assert 'repro.experiments' not in sys.modules, 'harness loaded'"
-        )
-        proc = subprocess.run(
-            [sys.executable, "-c", code], capture_output=True, text=True
-        )
-        assert proc.returncode == 0, proc.stderr
+    def test_toplevel_import_graph_is_cycle_free(self):
+        # a non-trivial SCC over import-time edges means some first-import
+        # order hits a partially-initialised module; the static check
+        # covers every order at once (the old suite sampled five)
+        cycles = self._graph().toplevel_cycles()
+        assert cycles == [], f"top-level import cycles: {cycles}"
 
-    @pytest.mark.parametrize(
-        "module",
-        [
-            "repro.campaign",
-            "repro.campaign.figures",
-            "repro.campaign.aggregate",
-            "repro.experiments",
-            "repro.experiments.registry",
-        ],
-    )
-    def test_every_first_import_order_is_cycle_free(self, module):
-        # the registry ↔ campaign.figures edge must resolve no matter
-        # which side a fresh interpreter imports first
+    def test_first_import_order_smoke(self):
+        # one subprocess smoke test stays: prove the historically fragile
+        # side (registry first, before any campaign import) end-to-end
         import subprocess, sys
 
         proc = subprocess.run(
-            [sys.executable, "-c", f"import {module}"],
+            [sys.executable, "-c", "import repro.experiments.registry"],
             capture_output=True,
             text=True,
         )

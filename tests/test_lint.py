@@ -1,0 +1,906 @@
+"""Tests for :mod:`repro.lint` — the invariant-enforcing static analysis.
+
+Structure:
+
+* good/bad fixture pairs per rule family (determinism, layering,
+  concurrency, spec hygiene) over tiny synthetic packages;
+* pragma (``disable`` / ``disable-file`` / ``*``) and baseline behaviour,
+  including the hard rejection of baselined determinism rules;
+* the import-graph library (closures, deferral, ancestor semantics,
+  top-level cycle detection);
+* the CLI: exit codes, ``--format json`` schema, ``--select``;
+* regressions against the real tree: the repo lints clean, and a
+  wall-clock read injected into a cell-executed module fails the build
+  exactly the way CI would see it.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    LintUsageError,
+    build_graph,
+    run_lint,
+)
+from repro.lint.cli import main
+from repro.lint.rules import ALL_RULES
+
+REPO = Path(__file__).resolve().parent.parent
+
+RULE_IDS = {
+    "CARD-D01",
+    "CARD-D02",
+    "CARD-D03",
+    "CARD-L01",
+    "CARD-L02",
+    "CARD-C01",
+    "CARD-C02",
+    "CARD-C03",
+    "CARD-S01",
+}
+
+
+# ----------------------------------------------------------------------
+def make_pkg(tmp_path: Path, files: dict) -> Path:
+    """Materialise a fake ``src/repro`` package from {relpath: source}."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True, exist_ok=True)
+    for rel, source in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    for path in list(pkg.rglob("*.py")):
+        directory = path.parent
+        while True:
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+            if directory == pkg:
+                break
+            directory = directory.parent
+    return pkg
+
+
+def lint_pkg(pkg: Path, *, select=(), paths=None, baseline=None):
+    config = LintConfig(package_root=pkg)
+    if select:
+        config.select = tuple(select)
+    return run_lint(
+        paths if paths is not None else [pkg], config, baseline=baseline
+    )
+
+
+def rules_hit(report):
+    return sorted({f.rule for f in report.findings})
+
+
+# ----------------------------------------------------------------------
+class TestWallClockRule:
+    def test_time_time_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "core/clocky.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-D01",))
+        assert rules_hit(report) == ["CARD-D01"]
+        assert "wall clock" in report.findings[0].message
+
+    def test_from_time_binding_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "core/clocky.py": """
+                from time import perf_counter as pc
+
+                def elapsed():
+                    return pc()
+                """
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-D01",))
+        assert rules_hit(report) == ["CARD-D01"]
+        assert "duration clock" in report.findings[0].message
+
+    def test_datetime_now_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "core/a.py": """
+                from datetime import datetime
+
+                def stamp():
+                    return datetime.now()
+                """,
+                "core/b.py": """
+                import datetime as dt
+
+                def stamp():
+                    return dt.datetime.now()
+                """,
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-D01",))
+        assert len(report.findings) == 2
+
+    def test_obs_modules_exempt(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "obs/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-D01",))
+        assert report.findings == []
+
+    def test_duration_clocks_allowed_under_benchmarks(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        (bench / "bench_ok.py").write_text(
+            "import time\nT0 = time.perf_counter()\n"
+        )
+        (bench / "bench_bad.py").write_text(
+            "import time\nSTAMP = time.time()\n"
+        )
+        report = run_lint(
+            [bench], LintConfig(package_root=None), baseline=None
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].path.endswith("bench_bad.py")
+
+
+class TestGlobalRngRule:
+    def test_global_rng_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "core/rngy.py": """
+                import random
+                import numpy as np
+
+                def f():
+                    return random.random() + np.random.rand()
+
+                def g():
+                    return np.random.default_rng()
+                """
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-D02",))
+        messages = " | ".join(f.message for f in report.findings)
+        assert len(report.findings) == 3
+        assert "stdlib random" in messages
+        assert "np.random.rand()" in messages
+        assert "without a seed" in messages
+
+    def test_seeded_default_rng_clean(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "core/rngy.py": """
+                import numpy as np
+
+                def f(seed):
+                    return np.random.default_rng(seed).random()
+                """
+            },
+        )
+        assert lint_pkg(pkg, select=("CARD-D02",)).findings == []
+
+
+class TestCellEntropyRule:
+    FILES = {
+        "campaign/runner.py": """
+        def execute_cell(spec):
+            from repro.core import helper
+            return helper.run(spec)
+        """,
+        "core/helper.py": """
+        import os
+
+        def run(spec):
+            return {"host": os.environ.get("HOST", "")}
+        """,
+    }
+
+    def test_entropy_in_cell_closure_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(tmp_path, self.FILES)
+        report = lint_pkg(pkg, select=("CARD-D03",), paths=[])
+        assert rules_hit(report) == ["CARD-D03"]
+        finding = report.findings[0]
+        assert "os.environ" in finding.message
+        # the import chain from the executor is part of the message
+        assert "repro.campaign.runner" in finding.message
+        assert finding.path.endswith("core/helper.py")
+
+    def test_clean_closure(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        files = dict(self.FILES)
+        files["core/helper.py"] = """
+        def run(spec):
+            return {"ok": True}
+        """
+        pkg = make_pkg(tmp_path, files)
+        assert lint_pkg(pkg, select=("CARD-D03",), paths=[]).findings == []
+
+    def test_entropy_outside_closure_not_flagged(self, tmp_path, monkeypatch):
+        # os.environ in a module the executor never imports is D03-clean
+        monkeypatch.chdir(tmp_path)
+        files = dict(self.FILES)
+        files["core/helper.py"] = "def run(spec):\n    return {}\n"
+        files["service/envy.py"] = "import os\nHOST = os.environ.get('H')\n"
+        pkg = make_pkg(tmp_path, files)
+        assert lint_pkg(pkg, select=("CARD-D03",), paths=[]).findings == []
+
+
+class TestLayerRules:
+    def test_facade_toplevel_import_of_harness_flagged(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "api.py": "from repro.experiments import harness\n",
+                "experiments/harness.py": "X = 1\n",
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-L01",), paths=[])
+        assert rules_hit(report) == ["CARD-L01"]
+        assert "repro.experiments" in report.findings[0].message
+
+    def test_facade_lazy_import_of_harness_allowed(
+        self, tmp_path, monkeypatch
+    ):
+        # CARD-L01 is an import-time contract; function-level is fine
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "api.py": """
+                def plot():
+                    from repro.experiments import harness
+                    return harness.X
+                """,
+                "experiments/harness.py": "X = 1\n",
+            },
+        )
+        assert lint_pkg(pkg, select=("CARD-L01",), paths=[]).findings == []
+
+    def test_simulation_layer_lazy_import_still_flagged(
+        self, tmp_path, monkeypatch
+    ):
+        # CARD-L02 forbids even deferred imports of orchestration
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "core/engine.py": """
+                def save(x):
+                    from repro.campaign import store
+                    return store.put(x)
+                """,
+                "campaign/store.py": "def put(x):\n    return x\n",
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-L02",), paths=[])
+        assert rules_hit(report) == ["CARD-L02"]
+
+    def test_orchestration_importing_simulation_is_fine(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "campaign/runner.py": "from repro.core import engine\n",
+                "core/engine.py": "def run():\n    return 1\n",
+            },
+        )
+        assert lint_pkg(pkg, select=("CARD-L",), paths=[]).findings == []
+
+
+class TestSqliteTxnRule:
+    def test_deferred_begin_and_implicit_isolation_flagged(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "service/db.py": """
+                import sqlite3
+
+                def open_db(path):
+                    conn = sqlite3.connect(path)
+                    conn.execute("BEGIN")
+                    return conn
+                """
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-C01",))
+        messages = " | ".join(f.message for f in report.findings)
+        assert len(report.findings) == 2
+        assert "BEGIN IMMEDIATE" in messages
+        assert "isolation_level" in messages
+
+    def test_eager_discipline_clean(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "service/db.py": """
+                import sqlite3
+
+                def open_db(path):
+                    conn = sqlite3.connect(path, isolation_level=None)
+                    conn.execute("BEGIN IMMEDIATE")
+                    return conn
+                """
+            },
+        )
+        assert lint_pkg(pkg, select=("CARD-C01",)).findings == []
+
+
+class TestJsonlAppendRule:
+    def test_split_append_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "campaign/store.py": """
+                def append(fh, payload):
+                    fh.write(payload)
+                    fh.write("\\n")
+                """
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-C02",))
+        messages = " | ".join(f.message for f in report.findings)
+        assert report.findings
+        assert "newline" in messages or "write per record" in messages
+
+    def test_print_to_file_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "campaign/store.py": """
+                def append(fh, line):
+                    print(line, file=fh)
+                """
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-C02",))
+        assert rules_hit(report) == ["CARD-C02"]
+
+    def test_single_write_clean(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "campaign/store.py": """
+                def append(fh, payload):
+                    fh.write(payload + "\\n")
+                """
+            },
+        )
+        assert lint_pkg(pkg, select=("CARD-C02",)).findings == []
+
+    def test_rule_scoped_to_jsonl_modules(self, tmp_path, monkeypatch):
+        # split writes elsewhere are not JSONL appends
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "util/textdump.py": """
+                def dump(fh, payload):
+                    fh.write(payload)
+                    fh.write("\\n")
+                """
+            },
+        )
+        assert lint_pkg(pkg, select=("CARD-C02",)).findings == []
+
+
+class TestSwallowedExceptionRule:
+    def test_swallowed_broad_except_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "service/leasey.py": """
+                def heartbeat(queue, key):
+                    try:
+                        queue.heartbeat(key)
+                    except Exception:
+                        pass
+                """
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-C03",))
+        assert rules_hit(report) == ["CARD-C03"]
+
+    def test_handled_and_narrow_excepts_clean(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "service/leasey.py": """
+                def heartbeat(queue, key, stats):
+                    try:
+                        queue.heartbeat(key)
+                    except Exception:
+                        stats.errors += 1
+                    try:
+                        queue.ping()
+                    except ValueError:
+                        pass
+                """
+            },
+        )
+        assert lint_pkg(pkg, select=("CARD-C03",)).findings == []
+
+
+class TestSpecHygieneRule:
+    GOOD = """
+    class CellSpec:
+        v: int
+        topology: str
+        params: dict
+        seed: int
+        metrics: tuple
+        regime: str
+        extra: float = None
+
+        def to_dict(self):
+            data = {
+                "v": self.v,
+                "topology": self.topology,
+                "params": self.params,
+                "seed": self.seed,
+                "metrics": self.metrics,
+            }
+            if self.extra is not None:
+                data["extra"] = self.extra
+            return data
+    """
+
+    def _lint_spec(self, tmp_path, source):
+        pkg = make_pkg(tmp_path, {"campaign/spec.py": source})
+        return lint_pkg(pkg, select=("CARD-S01",))
+
+    def test_only_when_set_serialisation_clean(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert self._lint_spec(tmp_path, self.GOOD).findings == []
+
+    def test_unconditional_new_field_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = self.GOOD.replace(
+            '"metrics": self.metrics,',
+            '"metrics": self.metrics,\n                "extra": self.extra,',
+        )
+        report = self._lint_spec(tmp_path, bad)
+        assert rules_hit(report) == ["CARD-S01"]
+        assert "'extra' unconditionally" in report.findings[0].message
+
+    def test_dropped_frozen_key_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = self.GOOD.replace('"seed": self.seed,', "")
+        report = self._lint_spec(tmp_path, bad)
+        assert any("'seed'" in f.message for f in report.findings)
+
+    def test_never_serialised_field_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = self.GOOD.replace(
+            "extra: float = None", "extra: float = None\n        ghost: int = 0"
+        )
+        report = self._lint_spec(tmp_path, bad)
+        assert any("ghost" in f.message for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+class TestPragmas:
+    SOURCE = """
+    import time
+
+    def stamp():
+        return time.time(){pragma}
+    """
+
+    def test_line_pragma_suppresses(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "core/a.py": self.SOURCE.format(
+                    pragma="  # card-lint: disable=CARD-D01 -- fixture"
+                )
+            },
+        )
+        report = lint_pkg(pkg, select=("CARD-D01",))
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_wildcard_pragma_suppresses(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "core/a.py": self.SOURCE.format(
+                    pragma="  # card-lint: disable=* -- fixture"
+                )
+            },
+        )
+        assert lint_pkg(pkg, select=("CARD-D01",)).findings == []
+
+    def test_pragma_on_other_line_does_not_suppress(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        source = (
+            "# card-lint: disable=CARD-D01 -- wrong line\n"
+            + textwrap.dedent(self.SOURCE.format(pragma=""))
+        )
+        pkg = make_pkg(tmp_path, {"core/a.py": source})
+        report = lint_pkg(pkg, select=("CARD-D01",))
+        assert rules_hit(report) == ["CARD-D01"]
+
+    def test_file_pragma_suppresses_everywhere(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        source = (
+            "# card-lint: disable-file=CARD-D01 -- fixture\n"
+            "import time\n\n"
+            "def a():\n    return time.time()\n\n"
+            "def b():\n    return time.time()\n"
+        )
+        pkg = make_pkg(tmp_path, {"core/a.py": source})
+        report = lint_pkg(pkg, select=("CARD-D01",))
+        assert report.findings == []
+        assert report.suppressed == 2
+
+    def test_file_pragma_only_names_its_rule(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        source = (
+            "# card-lint: disable-file=CARD-D01 -- fixture\n"
+            "import random\n"
+        )
+        pkg = make_pkg(tmp_path, {"core/a.py": source})
+        report = lint_pkg(pkg, select=("CARD-D",))
+        assert rules_hit(report) == ["CARD-D02"]
+
+
+class TestBaseline:
+    def _bad_pkg(self, tmp_path):
+        return make_pkg(
+            tmp_path,
+            {
+                "service/db.py": """
+                import sqlite3
+
+                def open_db(path):
+                    return sqlite3.connect(path)
+                """
+            },
+        )
+
+    def test_baseline_grandfathers_finding(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = self._bad_pkg(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {
+                            "rule": "CARD-C01",
+                            "path": "src/repro/service/db.py",
+                        }
+                    ],
+                }
+            )
+        )
+        report = lint_pkg(pkg, select=("CARD-C01",), baseline=baseline)
+        assert report.findings == []
+        assert report.baselined == 1
+
+    def test_baseline_does_not_hide_other_rules(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = self._bad_pkg(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {"rule": "CARD-C03", "path": "src/repro/service/db.py"}
+                    ],
+                }
+            )
+        )
+        report = lint_pkg(pkg, select=("CARD-C01",), baseline=baseline)
+        assert rules_hit(report) == ["CARD-C01"]
+
+    def test_determinism_rules_may_never_be_baselined(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        pkg = self._bad_pkg(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [{"rule": "CARD-D01", "path": "x.py"}],
+                }
+            )
+        )
+        with pytest.raises(LintUsageError, match="determinism"):
+            lint_pkg(pkg, baseline=baseline)
+
+    def test_committed_baseline_is_empty(self):
+        # the repo guarantee: nothing is grandfathered, determinism least
+        data = json.loads((REPO / "lint-baseline.json").read_text())
+        assert data["findings"] == []
+
+
+# ----------------------------------------------------------------------
+class TestImportGraph:
+    def test_closure_deferred_and_ancestors(self, tmp_path):
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "a.py": """
+                from repro.sub.b import X
+
+                def lazy():
+                    from repro import c
+                    return c
+                """,
+                "sub/b.py": "X = 1\n",
+                "c.py": "Y = 2\n",
+            },
+        )
+        graph = build_graph(pkg)
+        toplevel = graph.closure(["repro.a"], include_deferred=False)
+        assert "repro.sub.b" in toplevel
+        assert "repro.sub" in toplevel  # ancestor package executes
+        assert "repro.c" not in toplevel  # function-level import
+        deferred = graph.closure(["repro.a"], include_deferred=True)
+        assert "repro.c" in deferred
+
+    def test_chain_reports_shortest_path(self, tmp_path):
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "a.py": "from repro import b\nfrom repro.b import X\n",
+                "b.py": "from repro import c\nfrom repro.c import Y\nX = 1\n",
+                "c.py": "Y = 2\n",
+            },
+        )
+        graph = build_graph(pkg)
+        chain = graph.chain(
+            ["repro.a"], "repro.c", include_deferred=False,
+            follow_ancestors=False,
+        )
+        assert chain == ["repro.a", "repro.b", "repro.c"]
+
+    def test_toplevel_cycle_detected(self, tmp_path):
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "a.py": "from repro.b import X\nY = 1\n",
+                "b.py": "from repro.a import Y\nX = 1\n",
+            },
+        )
+        assert build_graph(pkg).toplevel_cycles() == [["repro.a", "repro.b"]]
+
+    def test_deferred_cycle_is_not_a_cycle(self, tmp_path):
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "a.py": "from repro.b import X\nY = 1\n",
+                "b.py": "def f():\n    from repro.a import Y\n    return Y\nX = 1\n",
+            },
+        )
+        assert build_graph(pkg).toplevel_cycles() == []
+
+    def test_facade_reexports_are_not_cycles(self, tmp_path):
+        # `from repro import b` inside repro.a: the root package is
+        # already (partially) initialised — not a first-import hazard
+        pkg = make_pkg(tmp_path, {"a.py": "from repro import b\n", "b.py": ""})
+        root_init = pkg / "__init__.py"
+        root_init.write_text("from repro import a, b\n")
+        assert build_graph(pkg).toplevel_cycles() == []
+
+
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        assert main(["ok.py", "--no-baseline"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main(["bad.py", "--no-baseline"]) == 1
+        assert "CARD-D02" in capsys.readouterr().out
+
+    def test_parse_error_exits_one(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        assert main(["broken.py", "--no-baseline"]) == 1
+        assert "parse error" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["nope.py", "--no-baseline"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_determinism_baseline_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        (tmp_path / "base.json").write_text(
+            json.dumps(
+                {"version": 1, "findings": [{"rule": "CARD-D02", "path": "x"}]}
+            )
+        )
+        assert main(["ok.py", "--baseline", "base.json"]) == 2
+        assert "determinism" in capsys.readouterr().err
+
+    def test_default_baseline_autodetected(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        pkg = make_pkg(
+            tmp_path,
+            {"service/db.py": "import sqlite3\nC = sqlite3.connect('x')\n"},
+        )
+        (tmp_path / "lint-baseline.json").write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {"rule": "CARD-C01", "path": "src/repro/service/db.py"}
+                    ],
+                }
+            )
+        )
+        assert main(["src", "--package-root", str(pkg)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_json_report_schema(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert (
+            main(
+                ["bad.py", "--no-baseline", "--format", "json", "--out", "r.json"]
+            )
+            == 1
+        )
+        printed = json.loads(capsys.readouterr().out)
+        on_disk = json.loads((tmp_path / "r.json").read_text())
+        assert printed == on_disk
+        assert printed["tool"] == "card-lint"
+        assert printed["version"] == 1
+        assert {r["id"] for r in printed["rules"]} == RULE_IDS
+        finding = printed["findings"][0]
+        assert set(finding) == {
+            "rule", "category", "path", "line", "col", "message",
+        }
+        assert printed["summary"]["findings"] == 1
+        assert printed["summary"]["files"] == 1
+
+    def test_select_scopes_rules(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "bad.py").write_text(
+            "import random\nimport time\nT = time.time()\n"
+        )
+        assert main(["bad.py", "--no-baseline", "--select", "CARD-D01"]) == 1
+        out = capsys.readouterr().out
+        assert "CARD-D01" in out
+        assert "CARD-D02" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in sorted(RULE_IDS):
+            assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+class TestRealTree:
+    def test_rule_catalog_is_stable(self):
+        assert {r.id for r in ALL_RULES} == RULE_IDS
+
+    def test_repo_lints_clean(self, monkeypatch):
+        monkeypatch.chdir(REPO)
+        paths = [
+            Path(p)
+            for p in ("src", "tests", "benchmarks", "examples")
+            if (REPO / p).is_dir()
+        ]
+        report = run_lint(paths, LintConfig.default(), baseline=None)
+        assert report.parse_errors == []
+        assert report.findings == [], "\n".join(
+            f.render() for f in report.findings
+        )
+
+    def test_injected_wall_clock_fails_the_build(self, tmp_path, monkeypatch):
+        # the CI contract end-to-end: copy the real tree, inject a
+        # wall-clock read into a module execute_cell runs, and the lint
+        # job (same invocation CI uses) must fail the build with CARD-D01
+        shutil.copytree(REPO / "src", tmp_path / "src")
+        target = tmp_path / "src" / "repro" / "core" / "selection.py"
+        target.write_text(
+            target.read_text(encoding="utf-8")
+            + "\n\nimport time\n\n\ndef _stamp():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            ["src", "--no-baseline", "--format", "json", "--out", "report.json"]
+        )
+        assert rc == 1
+        data = json.loads(Path("report.json").read_text())
+        hits = [
+            f
+            for f in data["findings"]
+            if f["rule"] == "CARD-D01"
+            and f["path"].endswith("core/selection.py")
+        ]
+        assert hits, data["findings"]
+
+    def test_injected_layering_violation_fails_the_build(
+        self, tmp_path, monkeypatch
+    ):
+        # same end-to-end contract for the layering family: a simulation
+        # module importing orchestration must fail the build (CARD-L02)
+        shutil.copytree(REPO / "src", tmp_path / "src")
+        target = tmp_path / "src" / "repro" / "net" / "stats.py"
+        target.write_text(
+            target.read_text(encoding="utf-8")
+            + "\n\nfrom repro.campaign import store as _store\n",
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            ["src", "--no-baseline", "--format", "json", "--out", "report.json"]
+        )
+        assert rc == 1
+        data = json.loads(Path("report.json").read_text())
+        hits = [
+            f
+            for f in data["findings"]
+            if f["rule"] == "CARD-L02" and f["path"].endswith("net/stats.py")
+        ]
+        assert hits, data["findings"]
